@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper through
+pytest-benchmark.  The expensive experiment functions are executed once per
+benchmark (``rounds=1``) because they are analytic (deterministic) rather than
+noisy measurements; pytest-benchmark still records their running time so the
+harness doubles as a performance regression check for the compiler itself.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running the benchmarks without installing the package.
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

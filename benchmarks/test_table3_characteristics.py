@@ -1,0 +1,34 @@
+"""Table 3: characteristics of the benchmark stencils (loads, flops, sizes)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table3, table3_characteristics
+
+# Straight from Table 3 of the paper.
+EXPECTED = {
+    ("laplacian_2d", "S0"): (5, 6),
+    ("heat_2d", "S0"): (9, 9),
+    ("gradient_2d", "S0"): (5, 15),
+    ("fdtd_2d", "Sey"): (3, 3),
+    ("fdtd_2d", "Sex"): (3, 3),
+    ("fdtd_2d", "Shz"): (5, 5),
+    ("laplacian_3d", "S0"): (7, 8),
+    ("heat_3d", "S0"): (27, 27),
+    ("gradient_3d", "S0"): (7, 20),
+}
+
+
+def test_table3_characteristics(benchmark):
+    rows = run_once(benchmark, table3_characteristics)
+    print()
+    print(format_table3(rows))
+
+    assert len(rows) == len(EXPECTED)
+    for row in rows:
+        loads, flops = EXPECTED[(row["benchmark"], row["statement"])]
+        assert row["loads"] == loads
+        assert row["flops"] == flops
+        if row["benchmark"].endswith("3d"):
+            assert row["data_size"] == "384x384x384" and row["steps"] == 128
+        else:
+            assert row["data_size"] == "3072x3072" and row["steps"] == 512

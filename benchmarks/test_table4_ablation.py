@@ -1,0 +1,25 @@
+"""Table 4: the shared-memory optimisation ablation (heat 3D, both GPUs)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table4, run_ablation
+from repro.gpu.device import GTX470, NVS5200M
+
+
+def test_table4_ablation(benchmark):
+    rows = run_once(benchmark, run_ablation, "heat_3d", (NVS5200M, GTX470))
+    print()
+    print(format_table4(rows))
+
+    by_device = {}
+    for row in rows:
+        by_device.setdefault(row.device, {})[row.configuration] = row.gflops
+
+    for device, gflops in by_device.items():
+        # The full configuration (f) is the best one, as in the paper.
+        assert gflops["f"] == max(gflops.values()), device
+        # Dynamic inter-tile reuse (f) beats the bank-conflicted static one (e).
+        assert gflops["f"] > gflops["e"], device
+        # Shared memory + interleaving + alignment + reuse beats plain shared
+        # memory by a wide margin.
+        assert gflops["f"] > 1.15 * gflops["b"], device

@@ -1,0 +1,31 @@
+"""Table 5: performance counters of the heat 3D ablation configurations."""
+
+from conftest import run_once
+
+from repro.experiments import format_table5, run_counter_ablation
+from repro.gpu.device import GTX470
+
+
+def test_table5_counters(benchmark):
+    rows = run_once(benchmark, run_counter_ablation, "heat_3d", GTX470)
+    print()
+    print(format_table5(rows))
+
+    by_config = {row["configuration"]: row for row in rows}
+
+    # (a) -> (b): explicit shared memory removes the bulk of the global load
+    # instructions (a factor ~20 in the paper, >10 here).
+    assert by_config["a"]["gld_inst_32bit"] > 10 * by_config["b"]["gld_inst_32bit"]
+    # (c) -> (d): aligned loads reduce DRAM read transactions.
+    assert by_config["d"]["dram_read_transactions"] < by_config["c"]["dram_read_transactions"]
+    # (d) -> (e)/(f): inter-tile reuse reaches 100% global load efficiency and
+    # the lowest DRAM traffic of all configurations.
+    for label in ("e", "f"):
+        assert by_config[label]["gld_efficiency_percent"] >= 99.0
+        assert (
+            by_config[label]["dram_read_transactions"]
+            <= by_config["d"]["dram_read_transactions"]
+        )
+    # The static shared mapping (e) causes bank conflicts, the dynamic one not.
+    assert by_config["e"]["shared_loads_per_request"] >= 1.5
+    assert by_config["f"]["shared_loads_per_request"] <= 1.1

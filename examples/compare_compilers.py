@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Compare hybrid tiling against the baseline stencil compilers (Tables 1/2).
+
+Runs the full Table 1 / Table 2 comparison — all seven benchmark stencils at
+the paper's problem sizes, hybrid tiling versus the PPCG, Par4All and Overtile
+strategy models — on both GPUs and prints the tables side by side with the
+numbers published in the paper.
+
+Run with:  python examples/compare_compilers.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.baselines import PatusBaseline
+from repro.experiments import format_comparison, run_comparison
+from repro.gpu.device import GTX470, NVS5200M
+from repro.stencils import get_stencil
+
+
+def main() -> None:
+    for device in (GTX470, NVS5200M):
+        rows = run_comparison(device)
+        print(format_comparison(rows, device))
+        print()
+
+    # The paper mentions Patus separately (its experimental CUDA back end only
+    # handled the 3D laplacian and heat kernels); show the same support matrix.
+    print("Patus (experimental CUDA back end):")
+    patus = PatusBaseline()
+    for name in ("laplacian_3d", "heat_3d", "heat_2d", "fdtd_2d"):
+        outcome = patus.compile(get_stencil(name))
+        if outcome.supported:
+            report = outcome.performance(GTX470)
+            print(f"  {name:<14} {report.gstencils_per_second:5.2f} GStencils/s on GTX 470")
+        else:
+            print(f"  {name:<14} unsupported ({outcome.failure_reason})")
+
+
+if __name__ == "__main__":
+    main()

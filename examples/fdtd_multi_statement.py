@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Hybrid tiling of a multi-statement stencil (FDTD 2D).
+
+FDTD updates three coupled fields (ex, ey, hz) per time step, which exercises
+the parts of the algorithm that single-statement Jacobi kernels do not:
+
+* the canonical schedule interleaves the statements on the logical time axis
+  (``l = 3t + i``, Section 3.2);
+* the tile height must satisfy ``(h + 1) mod 3 == 0`` so every tile starts
+  with the same statement (Section 3.3.2);
+* dependences flow both from the previous time step (ex/ey read hz) and from
+  earlier statements of the same step (hz reads the just-updated ex/ey).
+
+The example validates the schedule, simulates it functionally against the
+reference and shows the generated kernels.
+
+Run with:  python examples/fdtd_multi_statement.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.compiler import HybridCompiler
+from repro.gpu.device import GTX470
+from repro.model.dependences import compute_dependences
+from repro.stencils import get_stencil
+from repro.tiling.hybrid import TileSizes
+
+
+def main() -> None:
+    small = get_stencil("fdtd_2d", sizes=(18, 16), steps=9)
+
+    print("dependences of the canonicalised program:")
+    for dependence in compute_dependences(small):
+        print(f"  {dependence}")
+    print()
+
+    compiler = HybridCompiler()
+    compiled = compiler.compile(small, tile_sizes=TileSizes.of(2, 3, 6))
+    print(compiled.describe())
+    print()
+    print(f"validation: {compiled.validate()}")
+    simulation = compiled.simulate_and_check()
+    print(f"functional simulation matches the reference on all three fields "
+          f"({simulation.tiles_executed} tiles executed)\n")
+
+    # Performance at paper scale, with the statement-aligned tile height h=5
+    # (h+1 = 6 is a multiple of 3 statements).
+    full = compiler.compile(get_stencil("fdtd_2d"), tile_sizes=TileSizes.of(5, 4, 64))
+    report = full.estimate_performance(GTX470)
+    print(f"paper-scale estimate on {GTX470.name}: {report.summary()}")
+    print()
+    print("generated phase-0 kernel (head):")
+    kernel_lines = [
+        line for line in full.cuda_source.splitlines() if "fdtd_2d_phase0" in line or True
+    ]
+    print("\n".join(full.cuda_source.splitlines()[8:40]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Hybrid Hexagonal/Classical Tiling for GPUs" (CGO 2014).
+
+The package implements, in pure Python, the full compilation pipeline
+described in the paper:
+
+* a polyhedral substrate (:mod:`repro.polyhedral`) standing in for isl,
+* a stencil front end (:mod:`repro.frontend`) standing in for pet,
+* the program model and dependence analysis (:mod:`repro.model`),
+* hexagonal, classical, hybrid and diamond tilings (:mod:`repro.tiling`),
+* CUDA code generation with shared-memory management (:mod:`repro.codegen`),
+* a GPU execution/performance model (:mod:`repro.gpu`),
+* baseline compilers used in the paper's evaluation (:mod:`repro.baselines`),
+* the benchmark stencils (:mod:`repro.stencils`), and
+* experiment harnesses regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+The most convenient entry points are :class:`repro.compiler.HybridCompiler`
+and the helpers in :mod:`repro.stencils`.
+"""
+
+from importlib import import_module
+from typing import Any
+
+__version__ = "1.0.0"
+
+# Public names re-exported lazily so that importing a submodule (for example
+# ``repro.polyhedral``) does not pull in the whole compiler stack.
+_EXPORTS = {
+    "HybridCompiler": "repro.compiler",
+    "CompilationResult": "repro.compiler",
+    "OptimizationConfig": "repro.pipeline",
+    "TileSizes": "repro.pipeline",
+    "get_stencil": "repro.stencils",
+    "list_stencils": "repro.stencils",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    module = import_module(module_name)
+    return getattr(module, name)

@@ -1,0 +1,81 @@
+"""Patus baseline: auto-tuned spatial blocking with an experimental CUDA path.
+
+Patus [Christen et al. 2011] is a stencil DSL and auto-tuning framework whose
+primary targets are CPUs; its CUDA back end was experimental at the time of
+the paper and only produced working code for the 3D laplacian and heat
+kernels (Section 6.1).  The model reproduces that support matrix and the
+reported performance level: spatial blocking tuned by exhaustive search, no
+time tiling, global-memory accesses with good coalescing.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineCompiler, BaselineResult
+from repro.codegen.kernel_ir import analyze_core_loop, average_instructions_per_point
+from repro.gpu.counters import PerformanceCounters
+from repro.gpu.perf_model import LaunchConfiguration
+from repro.model.program import StencilProgram
+
+_SUPPORTED = {"laplacian_3d", "heat_3d"}
+
+
+class PatusBaseline(BaselineCompiler):
+    """Model of Patus' experimental CUDA back end."""
+
+    name = "patus"
+    threads_per_block = 128
+
+    def compile(self, program: StencilProgram) -> BaselineResult:
+        if program.name not in _SUPPORTED:
+            return self.unsupported(
+                program,
+                "Patus 0.1.3's experimental CUDA back end only generated code "
+                "for the 3D laplacian and heat kernels (Section 6.1)",
+            )
+
+        updates = float(program.stencil_updates())
+        steps = program.time_steps
+        grid = float(self.grid_elements(program))
+        statement = program.statements[0]
+
+        counters = PerformanceCounters()
+        counters.stencil_updates = updates
+        counters.flops = float(program.flops_total())
+
+        counters.gld_instructions = updates * statement.loads
+        counters.requested_global_bytes = counters.gld_instructions * 4.0
+        counters.transferred_global_bytes = grid * 4.0 * steps * 1.1
+        counters.dram_read_transactions = counters.transferred_global_bytes / 32.0
+        distinct_rows = len({read.offsets[:-1] for read in statement.unique_reads})
+        counters.l2_read_transactions = updates / 32.0 * distinct_rows * 2.0
+        counters.gst_instructions = updates
+        counters.dram_write_transactions = updates * 4.0 / 32.0
+
+        profiles = analyze_core_loop(
+            program,
+            unroll=True,                    # Patus unrolls aggressively
+            separate_full_partial=True,
+            use_shared_memory=False,
+        )
+        counters.instructions = updates * average_instructions_per_point(profiles)
+
+        counters.kernel_launches = float(steps)
+        counters.host_device_bytes = 2.0 * program.data_bytes()
+
+        launch = LaunchConfiguration(
+            threads_per_block=self.threads_per_block,
+            blocks=max(1, int(grid // self.threads_per_block)),
+            shared_bytes_per_block=0,
+            unrolled=True,
+            divergence_free=True,
+            useful_fraction=1.0,
+            overlap_stores=True,
+        )
+        return BaselineResult(
+            tool=self.name,
+            program_name=program.name,
+            supported=True,
+            counters=counters,
+            launch=launch,
+            strategy="auto-tuned spatial blocking, experimental CUDA back end",
+        )

@@ -1,0 +1,103 @@
+"""PPCG baseline: classical spatial tiling, one kernel launch per time step.
+
+Unmodified PPCG (the tool the hybrid compiler is built into) tiles the
+parallel spatial dimensions, maps them to blocks and threads, stages the block
+tile through shared memory, and wraps the whole thing into the sequential
+outer time loop on the host: every time step (and every statement of a
+multi-statement kernel) is a separate kernel launch, and every time step
+streams the full grid from and to global memory — there is no reuse along the
+time dimension (Section 6.1: "PPCG ... performing classical (time) tiling
+with parallel boundaries", which for these stencils degenerates to spatial
+tiling only).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineCompiler, BaselineResult
+from repro.codegen.kernel_ir import analyze_core_loop, average_instructions_per_point
+from repro.gpu.counters import PerformanceCounters
+from repro.gpu.perf_model import LaunchConfiguration
+from repro.model.program import StencilProgram
+
+
+class PPCGBaseline(BaselineCompiler):
+    """Model of unmodified PPCG's generated CUDA code."""
+
+    name = "ppcg"
+    tile_edge = 32            # PPCG's empirically tuned 32x16-ish spatial tiles
+    threads_per_block = 256
+
+    def compile(self, program: StencilProgram) -> BaselineResult:
+        updates = float(program.stencil_updates())
+        steps = program.time_steps
+        grid = float(self.grid_elements(program))
+
+        counters = PerformanceCounters()
+        counters.stencil_updates = updates
+        counters.flops = float(program.flops_total())
+
+        halo = self.halo_fraction(program, self.tile_edge)
+        # Shared-memory staging: every block loads its tile plus halo once per
+        # time step (per statement that reads the corresponding fields).
+        fields_read = self.fields_read_per_statement(program)
+        staged_elements = 0.0
+        for n_fields in fields_read:
+            staged_elements += grid * halo * n_fields * steps
+        counters.gld_instructions = staged_elements
+        counters.requested_global_bytes = staged_elements * 4.0
+        # Per time step the full grid of every read field is streamed from
+        # DRAM (rows are contiguous and aligned, so transfers are efficient).
+        read_bytes = 0.0
+        for n_fields in fields_read:
+            read_bytes += grid * 4.0 * n_fields * steps
+        counters.transferred_global_bytes = read_bytes * 1.05  # halo rows
+        counters.dram_read_transactions = counters.transferred_global_bytes / 32.0
+        counters.l2_read_transactions = counters.dram_read_transactions * 1.3
+        counters.gst_instructions = updates
+        counters.dram_write_transactions = updates * 4.0 / 32.0
+
+        # Shared-memory traffic of the compute phase (no register reuse:
+        # PPCG does not unroll the point loops).
+        counters.shared_load_requests = updates * self.average_loads(program) / 32.0
+        counters.shared_load_transactions = counters.shared_load_requests
+        counters.shared_store_requests = updates / 32.0 + staged_elements / 32.0
+
+        profiles = analyze_core_loop(
+            program,
+            unroll=False,
+            separate_full_partial=False,
+            use_shared_memory=True,
+        )
+        counters.instructions = updates * average_instructions_per_point(profiles)
+        counters.instructions += staged_elements * 3.0
+
+        counters.kernel_launches = float(steps * program.num_statements)
+        counters.barriers = counters.kernel_launches
+        counters.host_device_bytes = 2.0 * program.data_bytes()
+
+        blocks = max(1, int(grid // (self.tile_edge ** program.ndim)))
+        radius = program.spatial_radius()
+        shared_bytes = int(
+            4 * (self.tile_edge + 2 * radius) ** min(program.ndim, 2)
+            * max(1, max(fields_read))
+        )
+        launch = LaunchConfiguration(
+            threads_per_block=self.threads_per_block,
+            blocks=blocks,
+            shared_bytes_per_block=shared_bytes,
+            unrolled=False,
+            divergence_free=False,
+            useful_fraction=1.0,
+            overlap_stores=True,
+        )
+        return BaselineResult(
+            tool=self.name,
+            program_name=program.name,
+            supported=True,
+            counters=counters,
+            launch=launch,
+            strategy=(
+                f"spatial {self.tile_edge}-wide tiling, {steps * program.num_statements} "
+                "kernel launches, no time tiling"
+            ),
+        )

@@ -1,0 +1,131 @@
+"""Command-line interface: compile, validate, simulate and benchmark stencils.
+
+Examples
+--------
+::
+
+    hexcc list
+    hexcc compile heat_3d --h 2 --widths 7,10,32 --show-cuda
+    hexcc validate jacobi_2d --size 20 --steps 10
+    hexcc table 1          # regenerate Table 1 (GTX 470 comparison)
+    hexcc table 4          # regenerate Table 4 (heat 3D ablation)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compiler import HybridCompiler
+from repro.gpu.device import GTX470, NVS5200M, get_device
+from repro.stencils import get_stencil, list_stencils
+from repro.tiling.hybrid import TileSizes
+
+
+def _parse_tile_sizes(args: argparse.Namespace) -> TileSizes | None:
+    if args.widths is None:
+        return None
+    widths = tuple(int(w) for w in args.widths.split(","))
+    return TileSizes(args.h, widths)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name in list_stencils():
+        print(name)
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    program = get_stencil(args.stencil)
+    compiler = HybridCompiler(get_device(args.device))
+    compiled = compiler.compile(program, tile_sizes=_parse_tile_sizes(args))
+    print(compiled.describe())
+    print()
+    print(compiled.estimate_performance().summary())
+    if args.show_cuda:
+        print()
+        print(compiled.cuda_source)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    sizes = tuple([args.size] * (3 if args.stencil.endswith("3d") else 2)) \
+        if args.stencil not in ("jacobi_1d", "wide_1d", "higher_order_time") else (args.size,)
+    program = get_stencil(args.stencil, sizes=sizes, steps=args.steps)
+    compiler = HybridCompiler()
+    compiled = compiler.compile(program, tile_sizes=_parse_tile_sizes(args))
+    print(compiled.validate())
+    compiled.simulate_and_check()
+    print("functional simulation matches the NumPy reference")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        format_comparison,
+        format_table3,
+        format_table4,
+        format_table5,
+        run_ablation,
+        run_comparison,
+        run_counter_ablation,
+        table3_characteristics,
+    )
+
+    if args.number == 1:
+        print(format_comparison(run_comparison(GTX470), GTX470))
+    elif args.number == 2:
+        print(format_comparison(run_comparison(NVS5200M), NVS5200M))
+    elif args.number == 3:
+        print(format_table3(table3_characteristics()))
+    elif args.number == 4:
+        print(format_table4(run_ablation()))
+    elif args.number == 5:
+        print(format_table5(run_counter_ablation()))
+    else:
+        print(f"unknown table {args.number}; the paper has tables 1-5", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hexcc",
+        description="Hybrid hexagonal/classical tiling compiler (CGO 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available stencils").set_defaults(func=_cmd_list)
+
+    compile_parser = sub.add_parser("compile", help="compile a stencil at paper scale")
+    compile_parser.add_argument("stencil")
+    compile_parser.add_argument("--device", default="gtx470")
+    compile_parser.add_argument("--h", type=int, default=2)
+    compile_parser.add_argument("--widths", default=None, help="comma separated w0,w1,...")
+    compile_parser.add_argument("--show-cuda", action="store_true")
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    validate_parser = sub.add_parser(
+        "validate", help="exhaustively validate and simulate a small instance"
+    )
+    validate_parser.add_argument("stencil")
+    validate_parser.add_argument("--size", type=int, default=16)
+    validate_parser.add_argument("--steps", type=int, default=8)
+    validate_parser.add_argument("--h", type=int, default=1)
+    validate_parser.add_argument("--widths", default=None)
+    validate_parser.set_defaults(func=_cmd_validate)
+
+    table_parser = sub.add_parser("table", help="regenerate one of the paper's tables")
+    table_parser.add_argument("number", type=int)
+    table_parser.set_defaults(func=_cmd_table)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

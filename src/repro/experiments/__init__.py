@@ -1,0 +1,55 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module returns plain data structures (lists of row dictionaries) plus a
+formatter, so the same code backs the pytest benchmarks in ``benchmarks/``,
+the examples and EXPERIMENTS.md.
+"""
+
+from repro.experiments.paper_data import (
+    PAPER_TABLE1_GTX470,
+    PAPER_TABLE2_NVS5200,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TILE_SIZES,
+)
+from repro.experiments.characteristics import table3_characteristics, format_table3
+from repro.experiments.comparison import (
+    ComparisonRow,
+    format_comparison,
+    run_comparison,
+)
+from repro.experiments.ablation import (
+    run_ablation,
+    run_counter_ablation,
+    format_table4,
+    format_table5,
+)
+from repro.experiments.figures import (
+    figure2_core_ptx,
+    figure3_dependence_cone,
+    figure4_hexagon,
+    figure5_tiling_pattern,
+    figure6_schedule,
+)
+
+__all__ = [
+    "PAPER_TABLE1_GTX470",
+    "PAPER_TABLE2_NVS5200",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TILE_SIZES",
+    "table3_characteristics",
+    "format_table3",
+    "ComparisonRow",
+    "run_comparison",
+    "format_comparison",
+    "run_ablation",
+    "run_counter_ablation",
+    "format_table4",
+    "format_table5",
+    "figure2_core_ptx",
+    "figure3_dependence_cone",
+    "figure4_hexagon",
+    "figure5_tiling_pattern",
+    "figure6_schedule",
+]

@@ -1,0 +1,39 @@
+"""Table 3: characteristics of the benchmark stencils."""
+
+from __future__ import annotations
+
+from repro.stencils import get_stencil, paper_benchmarks
+
+
+def table3_characteristics() -> list[dict[str, object]]:
+    """One row per (benchmark, statement), mirroring Table 3 of the paper."""
+    rows: list[dict[str, object]] = []
+    for name in paper_benchmarks():
+        program = get_stencil(name)
+        for statement in program.statements:
+            rows.append(
+                {
+                    "benchmark": name,
+                    "statement": statement.name,
+                    "loads": statement.loads,
+                    "flops": statement.flops,
+                    "data_size": "x".join(str(s) for s in program.sizes),
+                    "steps": program.time_steps,
+                }
+            )
+    return rows
+
+
+def format_table3(rows: list[dict[str, object]] | None = None) -> str:
+    """Render Table 3 as plain text."""
+    rows = rows if rows is not None else table3_characteristics()
+    lines = [
+        f"{'benchmark':<16} {'stmt':<5} {'loads':>5} {'flops':>5} {'data size':>14} {'steps':>6}",
+        "-" * 58,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<16} {row['statement']:<5} {row['loads']:>5} "
+            f"{row['flops']:>5} {row['data_size']:>14} {row['steps']:>6}"
+        )
+    return "\n".join(lines)

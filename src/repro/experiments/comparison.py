@@ -1,0 +1,145 @@
+"""Tables 1 and 2: comparison of hybrid tiling with the baseline compilers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import OvertileBaseline, Par4AllBaseline, PPCGBaseline, PatusBaseline
+from repro.compiler import HybridCompiler
+from repro.experiments.paper_data import (
+    PAPER_TABLE1_GTX470,
+    PAPER_TABLE2_NVS5200,
+    PAPER_TILE_SIZES,
+)
+from repro.gpu.device import GPUDevice, GTX470, NVS5200M
+from repro.stencils import get_stencil, paper_benchmarks
+
+TOOLS = ("ppcg", "par4all", "overtile", "hybrid")
+
+
+@dataclass
+class ComparisonRow:
+    """Result of one (benchmark, tool) combination."""
+
+    benchmark: str
+    tool: str
+    gstencils_per_second: float | None
+    speedup_over_ppcg: float | None
+    paper_gstencils: float | None
+    strategy: str = ""
+    failure: str | None = None
+
+
+def _paper_reference(device: GPUDevice) -> dict[str, dict[str, float | None]]:
+    return PAPER_TABLE1_GTX470 if device.name == GTX470.name else PAPER_TABLE2_NVS5200
+
+
+def run_comparison(
+    device: GPUDevice = GTX470,
+    benchmarks: list[str] | None = None,
+    include_patus: bool = False,
+) -> list[ComparisonRow]:
+    """Run the Table 1 / Table 2 comparison on one device.
+
+    Every tool (hybrid compiler and baseline models) is evaluated on the
+    paper-sized problem instances through the same analytic GPU model, so the
+    comparison reflects differences between the tiling strategies rather than
+    tuned constants.
+    """
+    benchmarks = benchmarks or paper_benchmarks()
+    reference = _paper_reference(device)
+    hybrid_compiler = HybridCompiler(device)
+    baselines = {
+        "ppcg": PPCGBaseline(),
+        "par4all": Par4AllBaseline(),
+        "overtile": OvertileBaseline(tuning_device=device),
+    }
+    if include_patus:
+        baselines["patus"] = PatusBaseline()
+
+    rows: list[ComparisonRow] = []
+    for benchmark in benchmarks:
+        program = get_stencil(benchmark)
+        paper_row = reference.get(benchmark, {})
+        results: dict[str, ComparisonRow] = {}
+
+        ppcg_gs: float | None = None
+        for tool, baseline in baselines.items():
+            outcome = baseline.compile(program)
+            if not outcome.supported:
+                results[tool] = ComparisonRow(
+                    benchmark=benchmark,
+                    tool=tool,
+                    gstencils_per_second=None,
+                    speedup_over_ppcg=None,
+                    paper_gstencils=paper_row.get(tool),
+                    failure=outcome.failure_reason,
+                )
+                continue
+            report = outcome.performance(device)
+            assert report is not None
+            gs = report.gstencils_per_second
+            if tool == "ppcg":
+                ppcg_gs = gs
+            results[tool] = ComparisonRow(
+                benchmark=benchmark,
+                tool=tool,
+                gstencils_per_second=gs,
+                speedup_over_ppcg=None,
+                paper_gstencils=paper_row.get(tool),
+                strategy=outcome.strategy,
+            )
+
+        compiled = hybrid_compiler.compile(
+            program, tile_sizes=PAPER_TILE_SIZES.get(benchmark)
+        )
+        report = compiled.estimate_performance(device)
+        results["hybrid"] = ComparisonRow(
+            benchmark=benchmark,
+            tool="hybrid",
+            gstencils_per_second=report.gstencils_per_second,
+            speedup_over_ppcg=None,
+            paper_gstencils=paper_row.get("hybrid"),
+            strategy=f"hybrid hexagonal/classical, {compiled.tiling.sizes}",
+        )
+
+        for row in results.values():
+            if row.gstencils_per_second is not None and ppcg_gs:
+                row.speedup_over_ppcg = row.gstencils_per_second / ppcg_gs
+            rows.append(row)
+    return rows
+
+
+def format_comparison(rows: list[ComparisonRow], device: GPUDevice) -> str:
+    """Render the comparison like Table 1 / Table 2 of the paper."""
+    lines = [
+        f"Performance on {device.name}: GStencils/second (speedup over PPCG) "
+        "[paper value in brackets]",
+        f"{'benchmark':<15}" + "".join(f"{tool:>24}" for tool in TOOLS),
+        "-" * (15 + 24 * len(TOOLS)),
+    ]
+    benchmarks = []
+    for row in rows:
+        if row.benchmark not in benchmarks:
+            benchmarks.append(row.benchmark)
+    by_key = {(r.benchmark, r.tool): r for r in rows}
+    for benchmark in benchmarks:
+        cells = [f"{benchmark:<15}"]
+        for tool in TOOLS:
+            row = by_key.get((benchmark, tool))
+            if row is None:
+                cells.append(f"{'-':>24}")
+            elif row.gstencils_per_second is None:
+                cells.append(f"{'invalid CUDA':>24}")
+            else:
+                speedup = (
+                    f" ({(row.speedup_over_ppcg - 1) * 100:+.0f}%)"
+                    if row.speedup_over_ppcg
+                    else ""
+                )
+                paper = (
+                    f" [{row.paper_gstencils:g}]" if row.paper_gstencils is not None else ""
+                )
+                cells.append(f"{row.gstencils_per_second:9.2f}{speedup}{paper:>10}"[:24].rjust(24))
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""GPU substrate: device models, performance counters, memory model, simulator.
+
+The paper evaluates on two NVIDIA GPUs (GTX 470 and NVS 5200M) with nvcc and
+nvprof.  Neither the hardware nor the CUDA toolchain is available here, so
+this package provides the substitution described in DESIGN.md:
+
+* :mod:`repro.gpu.device` — device descriptions with the architectural
+  parameters the performance model needs;
+* :mod:`repro.gpu.counters` — the nvprof-style counters the paper reports in
+  Table 5 (global load instructions, DRAM/L2 read transactions, shared loads
+  per request, global load efficiency);
+* :mod:`repro.gpu.memory` — coalescing / transaction / bank-conflict model;
+* :mod:`repro.gpu.simulator` — functional execution of compiled programs on
+  NumPy arrays (small grids), validating schedules and shared-memory plans
+  against the reference interpreter and collecting exact counters;
+* :mod:`repro.gpu.perf_model` — analytic (roofline-style) conversion of the
+  counted quantities into execution times, GFLOPS and GStencils/s.
+"""
+
+from repro.gpu.device import GPUDevice, GTX470, NVS5200M, get_device, list_devices
+from repro.gpu.counters import PerformanceCounters
+from repro.gpu.memory import CoalescingModel, SharedMemoryModel
+from repro.gpu.perf_model import PerformanceModel, PerformanceReport
+from repro.gpu.simulator import FunctionalSimulator, SimulationResult
+
+__all__ = [
+    "GPUDevice",
+    "GTX470",
+    "NVS5200M",
+    "get_device",
+    "list_devices",
+    "PerformanceCounters",
+    "CoalescingModel",
+    "SharedMemoryModel",
+    "PerformanceModel",
+    "PerformanceReport",
+    "FunctionalSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,215 @@
+"""Functional GPU simulator.
+
+The simulator executes a hybrid-tiled (or baseline-tiled) stencil program the
+way the generated CUDA code would: tile by tile in schedule order, with the
+intra-tile point order of Section 3.5, staging data through a simulated
+shared-memory footprint when the configuration asks for it.  It serves three
+purposes:
+
+* **schedule validation** — the final field values must match the reference
+  NumPy interpreter bit-for-bit (all arithmetic is float32 and performed in
+  the same association order per point);
+* **shared-memory plan validation** — every read performed inside a tile must
+  fall inside the footprint box the plan reserved for that tile;
+* **counter cross-checking** — the exact counters collected here (loads,
+  stores, flops, barriers) are compared against the analytic profiler on the
+  same small problem instances.
+
+It is deliberately an *interpreter*: it runs the small problem sizes used in
+tests, while the paper-scale experiments use the analytic profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.codegen.shared_mem import SharedMemoryPlan
+from repro.gpu.counters import PerformanceCounters
+from repro.model.expr import FieldRead
+from repro.model.program import StencilProgram
+from repro.pipeline import OptimizationConfig
+from repro.tiling.hybrid import HybridTiling, SchedulePoint, TileCoordinate
+
+
+class SimulationError(RuntimeError):
+    """The simulated execution violated an assumption (footprint, ordering...)."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a functional simulation."""
+
+    final_fields: dict[str, np.ndarray]
+    counters: PerformanceCounters
+    tiles_executed: int
+    full_tiles: int
+    partial_tiles: int
+    max_footprint_elements: int = 0
+
+    def matches_reference(
+        self, reference: Mapping[str, np.ndarray], atol: float = 1e-4
+    ) -> bool:
+        """Whether the simulated result equals the reference interpreter's."""
+        for name, expected in reference.items():
+            if name not in self.final_fields:
+                return False
+            if not np.allclose(self.final_fields[name], expected, atol=atol, rtol=1e-4):
+                return False
+        return True
+
+
+class FunctionalSimulator:
+    """Execute a hybrid tiling functionally and collect exact counters."""
+
+    def __init__(
+        self,
+        tiling: HybridTiling,
+        plan: SharedMemoryPlan | None = None,
+        config: OptimizationConfig | None = None,
+    ) -> None:
+        self.tiling = tiling
+        self.plan = plan
+        self.config = config or OptimizationConfig.default()
+        self.program: StencilProgram = tiling.canonical.program
+
+    # -- main entry point ----------------------------------------------------------------
+
+    def run(
+        self,
+        initial: Mapping[str, np.ndarray] | None = None,
+        seed: int = 0,
+        check_footprint: bool = True,
+    ) -> SimulationResult:
+        program = self.program
+        if initial is None:
+            initial = program.initial_state(seed)
+
+        steps = program.time_steps
+        # state[v] holds every field after v completed time steps; versions are
+        # pre-filled with the initial values so never-written (boundary) cells
+        # read back their initial value, matching the reference semantics.
+        state: dict[str, list[np.ndarray]] = {
+            name: [np.array(initial[name], dtype=np.float32, copy=True) for _ in range(steps + 1)]
+            for name in program.fields
+        }
+
+        counters = PerformanceCounters()
+        counters.stencil_updates = 0.0
+
+        tiles = self.tiling.group_instances_by_tile()
+        ordered_tiles = sorted(
+            tiles.items(),
+            key=lambda item: (
+                item[0].time_tile,
+                int(item[0].phase),
+                item[0].space_tiles,
+            ),
+        )
+        expected_full = self.tiling.iterations_per_full_tile()
+        full_tiles = 0
+        partial_tiles = 0
+        max_footprint = 0
+
+        for tile, points in ordered_tiles:
+            if len(points) == expected_full:
+                full_tiles += 1
+            else:
+                partial_tiles += 1
+            footprint = self._execute_tile(tile, points, state, counters)
+            max_footprint = max(max_footprint, footprint)
+            if check_footprint and self.plan is not None and len(points) == expected_full:
+                self._check_footprint(tile, footprint)
+            counters.barriers += self.tiling.shape.time_period
+
+        counters.kernel_launches = 2.0 * len(
+            {tile.time_tile for tile, _ in ordered_tiles}
+        )
+        counters.host_device_bytes = 2.0 * program.data_bytes()
+
+        final = {name: state[name][steps].copy() for name in program.fields}
+        return SimulationResult(
+            final_fields=final,
+            counters=counters,
+            tiles_executed=len(ordered_tiles),
+            full_tiles=full_tiles,
+            partial_tiles=partial_tiles,
+            max_footprint_elements=max_footprint,
+        )
+
+    # -- per-tile execution ---------------------------------------------------------------------
+
+    def _execute_tile(
+        self,
+        tile: TileCoordinate,
+        points: list[SchedulePoint],
+        state: dict[str, list[np.ndarray]],
+        counters: PerformanceCounters,
+    ) -> int:
+        """Execute one tile's points in intra-tile order; returns footprint size."""
+        program = self.program
+        touched: set[tuple[str, tuple[int, ...]]] = set()
+        loads_from_global: set[tuple[str, int, tuple[int, ...]]] = set()
+        reads_performed = 0
+
+        ordered = sorted(
+            points,
+            key=lambda p: (tuple(p.tile.space_tiles[1:]), p.local_time, p.local_space),
+        )
+        for point in ordered:
+            statement_index, t, spatial = self.tiling.canonical.from_canonical(
+                point.canonical_point
+            )
+            statement = program.statements[statement_index]
+
+            def read(access: FieldRead) -> np.float32:
+                nonlocal reads_performed
+                version = t + 1 - access.time_offset
+                location = tuple(
+                    coordinate + offset
+                    for coordinate, offset in zip(spatial, access.offsets)
+                )
+                touched.add((access.field, location))
+                loads_from_global.add((access.field, version, location))
+                reads_performed += 1
+                counters.shared_load_requests += 1.0 / 32.0
+                counters.shared_load_transactions += 1.0 / 32.0
+                return state[access.field][version][location]
+
+            value = np.float32(statement.expr.evaluate(read))
+            # A read of version v at an interior location always happens after
+            # the write producing it (this is exactly the flow dependence the
+            # legality checker enforces), so a plain versioned store suffices.
+            state[statement.target][t + 1][spatial] = value
+
+            counters.flops += statement.flops
+            counters.stencil_updates += 1
+            counters.gst_instructions += 1
+            counters.shared_store_requests += 1.0 / 32.0
+
+        if self.config.use_shared_memory:
+            # Each distinct (field, version, element) is staged once per tile.
+            counters.gld_instructions += len(loads_from_global)
+            counters.requested_global_bytes += 4.0 * len(loads_from_global)
+            counters.transferred_global_bytes += 4.0 * len(loads_from_global)
+        else:
+            # Without shared memory every read is a global load instruction.
+            counters.gld_instructions += reads_performed
+            counters.requested_global_bytes += 4.0 * reads_performed
+            counters.transferred_global_bytes += 4.0 * len(loads_from_global)
+        counters.dram_write_transactions += len(ordered) * 4.0 / 32.0
+        counters.dram_read_transactions += len(loads_from_global) * 4.0 / 32.0
+
+        return len({location for _, location in touched})
+
+    def _check_footprint(self, tile: TileCoordinate, footprint_elements: int) -> None:
+        """The actual data touched by a full tile must fit the planned boxes."""
+        assert self.plan is not None
+        planned = sum(f.elements * f.versions for f in self.plan.footprints)
+        if footprint_elements > planned:
+            raise SimulationError(
+                f"tile {tile} touched {footprint_elements} elements but the shared "
+                f"memory plan only reserves {planned}"
+            )

@@ -1,0 +1,172 @@
+"""Canonicalisation of stencil programs (Section 3.2 of the paper).
+
+The hybrid tiling of Section 3.6 is defined on a *canonical* schedule space
+``[l, s0, ..., sn]`` where ``l = k*t + i`` is the logical time (``k`` the
+number of statements, ``i`` the statement's position inside the time loop)
+and all dependences are carried by ``l``.  :func:`canonicalize` validates the
+structural assumptions, computes the dependence distances in that space and
+packages everything the tiling algorithms need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from repro.model.dependences import (
+    Dependence,
+    DependenceError,
+    compute_dependences,
+    dependence_distance_vectors,
+    validate_stencil_assumptions,
+)
+from repro.model.program import StencilProgram
+from repro.model.scop import Scop, build_scop
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A stencil program together with its canonical schedule space.
+
+    Attributes
+    ----------
+    program:
+        The original stencil program.
+    scop:
+        Its polyhedral representation.
+    num_statements:
+        ``k`` — the number of statements interleaved on the logical time axis.
+    space_dims:
+        Names of the space dimensions, in schedule order (the hexagonally
+        tiled dimension first; see :meth:`reorder_space`).
+    dependences:
+        All dependences in the canonical space.
+    distance_vectors:
+        The distinct dependence distance vectors ``(dl, ds0, ..., dsn)``.
+    logical_time_extent:
+        Number of logical time values, ``k * time_steps``.
+    """
+
+    program: StencilProgram
+    scop: Scop
+    num_statements: int
+    space_dims: tuple[str, ...]
+    dependences: tuple[Dependence, ...]
+    distance_vectors: tuple[tuple[int, ...], ...]
+    logical_time_extent: int
+    storage: str = "expanded"
+
+    # -- coordinate conversions ------------------------------------------------
+
+    def to_canonical(
+        self, statement_index: int, t: int, point: Sequence[int]
+    ) -> tuple[int, ...]:
+        """Map a statement instance to the canonical space ``[l, s...]``."""
+        return (self.num_statements * t + statement_index, *point)
+
+    def from_canonical(
+        self, canonical_point: Sequence[int]
+    ) -> tuple[int, int, tuple[int, ...]]:
+        """Inverse of :meth:`to_canonical`; returns ``(statement_index, t, s)``."""
+        logical = canonical_point[0]
+        statement_index = logical % self.num_statements
+        t = logical // self.num_statements
+        return statement_index, t, tuple(canonical_point[1:])
+
+    def instances(self) -> Iterator[tuple[int, tuple[int, ...]]]:
+        """Iterate over all statement instances as canonical points.
+
+        Yields ``(statement_index, canonical_point)`` pairs.  Only intended
+        for the small grids used in validation and testing.
+        """
+        for index, scop_statement in enumerate(self.scop.statements):
+            for point in scop_statement.domain.points():
+                t, *space = point
+                yield index, self.to_canonical(index, t, space)
+
+    # -- dependence geometry -----------------------------------------------------
+
+    def space_distance_bounds(self, dim_index: int) -> tuple[Fraction, Fraction]:
+        """Bounds ``(delta0, delta1)`` of the dependence slopes for a space dim.
+
+        ``delta0`` bounds the distance from above (``ds <= delta0 * dl``) and
+        ``delta1`` from below (``ds >= -delta1 * dl``); both are the smallest
+        such non-negative rationals, as required by Section 3.3.2.
+        """
+        delta0 = Fraction(0)
+        delta1 = Fraction(0)
+        for distance in self.distance_vectors:
+            dl = distance[0]
+            ds = distance[1 + dim_index]
+            delta0 = max(delta0, Fraction(ds, dl))
+            delta1 = max(delta1, Fraction(-ds, dl))
+        return delta0, delta1
+
+    def reorder_space(self, hexagonal_dim: str) -> "CanonicalForm":
+        """Return a canonical form with ``hexagonal_dim`` as the first space dim.
+
+        Section 3.6 notes that any spatial dimension may be hexagonally tiled
+        as long as the innermost (stride-one) dimension keeps its position; the
+        caller is responsible for not moving the innermost dimension.
+        """
+        if hexagonal_dim not in self.space_dims:
+            raise ValueError(f"unknown space dimension {hexagonal_dim!r}")
+        if hexagonal_dim == self.space_dims[0]:
+            return self
+        order = [hexagonal_dim] + [d for d in self.space_dims if d != hexagonal_dim]
+        permutation = [self.space_dims.index(d) for d in order]
+        new_vectors = tuple(
+            (vector[0], *[vector[1 + p] for p in permutation])
+            for vector in self.distance_vectors
+        )
+        new_dependences = tuple(
+            Dependence(
+                d.source,
+                d.sink,
+                d.kind,
+                (d.distance[0], *[d.distance[1 + p] for p in permutation]),
+            )
+            for d in self.dependences
+        )
+        return CanonicalForm(
+            program=self.program,
+            scop=self.scop,
+            num_statements=self.num_statements,
+            space_dims=tuple(order),
+            dependences=new_dependences,
+            distance_vectors=new_vectors,
+            logical_time_extent=self.logical_time_extent,
+            storage=self.storage,
+        )
+
+
+def canonicalize(
+    program: StencilProgram,
+    storage: str = "expanded",
+) -> CanonicalForm:
+    """Validate and canonicalise a stencil program (Section 3.2).
+
+    Raises :class:`~repro.model.dependences.DependenceError` when the program
+    does not satisfy the assumptions of Sections 3.2/3.3.1 (for instance when
+    a dependence is not carried by the time dimension).
+    """
+    scop = build_scop(program)
+    dependences = compute_dependences(program, storage=storage)
+    validate_stencil_assumptions(program, dependences)
+    vectors = dependence_distance_vectors(dependences)
+    if not vectors:
+        raise DependenceError(
+            "the program has no dependences at all; time tiling is pointless "
+            "and the hexagonal construction is undefined"
+        )
+    return CanonicalForm(
+        program=program,
+        scop=scop,
+        num_statements=program.num_statements,
+        space_dims=program.space_dims,
+        dependences=tuple(dependences),
+        distance_vectors=tuple(vectors),
+        logical_time_extent=program.num_statements * program.time_steps,
+        storage=storage,
+    )

@@ -1,0 +1,180 @@
+"""Polyhedral view of a stencil program (the "SCoP").
+
+This is the representation pet would extract for PPCG (Section 3.1 of the
+paper): per-statement iteration domains, access relations and the initial
+schedule of Section 3.2 in which all dependences are carried by the single
+outer (logical time) dimension and the remaining dimensions are fully
+parallel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model.program import StencilProgram, StencilStatement
+from repro.polyhedral.affine import LinearExpr
+from repro.polyhedral.basic_set import BasicSet
+from repro.polyhedral.constraint import Constraint
+from repro.polyhedral.imap import AffineMap
+from repro.polyhedral.space import Space
+
+
+class AccessKind(enum.Enum):
+    """Whether an access reads or writes the array."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Access:
+    """An affine array access of one statement.
+
+    ``relation`` maps the statement's iteration space ``[t, s0, ...]`` to the
+    array index space of ``array``.  ``time_offset`` records how many time
+    iterations before the access the value was produced (reads only).
+    """
+
+    array: str
+    kind: AccessKind
+    relation: AffineMap
+    time_offset: int = 0
+
+    def __str__(self) -> str:
+        arrow = "R" if self.kind is AccessKind.READ else "W"
+        return f"{arrow}:{self.array} {self.relation}"
+
+
+@dataclass(frozen=True)
+class ScopStatement:
+    """A statement of the SCoP: domain, accesses and initial schedule."""
+
+    name: str
+    index: int
+    domain: BasicSet
+    accesses: tuple[Access, ...]
+    schedule: AffineMap
+    stencil: StencilStatement
+
+    @property
+    def writes(self) -> list[Access]:
+        return [a for a in self.accesses if a.kind is AccessKind.WRITE]
+
+    @property
+    def reads(self) -> list[Access]:
+        return [a for a in self.accesses if a.kind is AccessKind.READ]
+
+
+@dataclass(frozen=True)
+class Scop:
+    """A static control part extracted from a stencil program."""
+
+    program: StencilProgram
+    statements: tuple[ScopStatement, ...]
+    schedule_space: Space
+
+    @property
+    def num_statements(self) -> int:
+        return len(self.statements)
+
+    def statement(self, name: str) -> ScopStatement:
+        for statement in self.statements:
+            if statement.name == name:
+                return statement
+        raise KeyError(name)
+
+    def iteration_count(self) -> int:
+        """Total number of statement instances (exact, by counting domains)."""
+        return sum(s.domain.count() for s in self.statements)
+
+
+def build_scop(program: StencilProgram) -> Scop:
+    """Extract the polyhedral representation of a stencil program.
+
+    Every statement gets:
+
+    * an iteration domain ``{ [t, s0, ..] : 0 <= t < T, margins hold }``;
+    * one write access relation and one read access relation per distinct
+      read in its body;
+    * the canonical initial schedule
+      ``[t, s0, ...] -> [k*t + i, s0, ...]`` of Section 3.2, where ``k`` is
+      the number of statements and ``i`` the statement's position.
+    """
+    k = program.num_statements
+    space_dims = program.space_dims
+    iter_space = Space(("t", *space_dims))
+    schedule_space = Space(("tt", *space_dims), name="schedule")
+    array_space = Space(tuple(f"a{j}" for j in range(program.ndim)))
+
+    statements: list[ScopStatement] = []
+    for index, statement in enumerate(program.statements):
+        domain = _statement_domain(program, statement, iter_space)
+        accesses = _statement_accesses(
+            program, statement, iter_space, array_space
+        )
+        schedule = _initial_schedule(iter_space, schedule_space, k, index)
+        statements.append(
+            ScopStatement(
+                name=statement.name,
+                index=index,
+                domain=domain,
+                accesses=tuple(accesses),
+                schedule=schedule,
+                stencil=statement,
+            )
+        )
+    return Scop(program=program, statements=tuple(statements), schedule_space=schedule_space)
+
+
+def _statement_domain(
+    program: StencilProgram,
+    statement: StencilStatement,
+    iter_space: Space,
+) -> BasicSet:
+    constraints = [
+        Constraint.ge(LinearExpr.var("t"), 0),
+        Constraint.le(LinearExpr.var("t"), program.time_steps - 1),
+    ]
+    for axis, dim in enumerate(program.space_dims):
+        lower = statement.lower_margin[axis]
+        upper = program.sizes[axis] - 1 - statement.upper_margin[axis]
+        constraints.append(Constraint.ge(LinearExpr.var(dim), lower))
+        constraints.append(Constraint.le(LinearExpr.var(dim), upper))
+    return BasicSet(iter_space.renamed(statement.name), constraints)
+
+
+def _statement_accesses(
+    program: StencilProgram,
+    statement: StencilStatement,
+    iter_space: Space,
+    array_space: Space,
+) -> list[Access]:
+    accesses: list[Access] = []
+    write_map = AffineMap.from_offsets(
+        iter_space,
+        array_space,
+        list(program.space_dims),
+        [0] * program.ndim,
+    )
+    accesses.append(Access(statement.target, AccessKind.WRITE, write_map, 0))
+    for read in statement.unique_reads:
+        read_map = AffineMap.from_offsets(
+            iter_space,
+            array_space,
+            list(program.space_dims),
+            list(read.offsets),
+        )
+        accesses.append(
+            Access(read.field, AccessKind.READ, read_map, read.time_offset)
+        )
+    return accesses
+
+
+def _initial_schedule(
+    iter_space: Space, schedule_space: Space, k: int, index: int
+) -> AffineMap:
+    outputs = [LinearExpr.var("t") * k + index]
+    outputs.extend(LinearExpr.var(d) for d in schedule_space.dims[1:])
+    return AffineMap(iter_space, schedule_space, outputs)

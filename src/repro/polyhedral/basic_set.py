@@ -1,0 +1,349 @@
+"""Convex integer sets defined by affine constraints.
+
+A :class:`BasicSet` is the integer-point set of a convex rational polyhedron,
+described by a conjunction of affine constraints over a named
+:class:`~repro.polyhedral.space.Space`.  This mirrors isl's ``basic_set``.
+
+The operations implemented are the ones the tiling and code-generation
+pipeline needs: membership, intersection, bounding boxes (via exact LP),
+Fourier–Motzkin projection, enumeration of integer points and exact point
+counting for bounded sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from fractions import Fraction
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.polyhedral.affine import LinearExpr, Rational
+from repro.polyhedral.constraint import Constraint
+from repro.polyhedral.lp import LPStatus, lp_maximize, lp_minimize
+from repro.polyhedral.space import Space
+
+
+class BasicSet:
+    """Integer points of a convex polyhedron over a named space."""
+
+    def __init__(self, space: Space, constraints: Iterable[Constraint] = ()) -> None:
+        self.space = space
+        self.constraints: list[Constraint] = []
+        for constraint in constraints:
+            unknown = constraint.variables() - set(space.dims)
+            if unknown:
+                raise ValueError(
+                    f"constraint {constraint} uses unknown dims {sorted(unknown)}"
+                )
+            if constraint.is_trivially_true():
+                continue
+            self.constraints.append(constraint)
+
+    # -- constructors ------------------------------------------------------------
+
+    @staticmethod
+    def universe(space: Space) -> "BasicSet":
+        """The set of all integer points of the space."""
+        return BasicSet(space, [])
+
+    @staticmethod
+    def empty(space: Space) -> "BasicSet":
+        """An explicitly empty set."""
+        return BasicSet(space, [Constraint.ge(LinearExpr.const(-1), 0)])
+
+    @staticmethod
+    def from_bounds(space: Space, bounds: Mapping[str, tuple[int, int]]) -> "BasicSet":
+        """A box ``lower <= dim <= upper`` for each entry of ``bounds``."""
+        constraints = []
+        for dim, (lower, upper) in bounds.items():
+            var = LinearExpr.var(dim)
+            constraints.append(Constraint.ge(var, lower))
+            constraints.append(Constraint.le(var, upper))
+        return BasicSet(space, constraints)
+
+    @staticmethod
+    def box(space: Space, lowers: Sequence[int], uppers: Sequence[int]) -> "BasicSet":
+        """A box with per-dimension inclusive bounds given in space order."""
+        if len(lowers) != space.ndim or len(uppers) != space.ndim:
+            raise ValueError("bounds must match the space dimensionality")
+        bounds = {d: (lowers[i], uppers[i]) for i, d in enumerate(space.dims)}
+        return BasicSet.from_bounds(space, bounds)
+
+    # -- membership and evaluation --------------------------------------------------
+
+    def contains(self, point: Sequence[int] | Mapping[str, int]) -> bool:
+        """Whether the integer point belongs to the set."""
+        env = self._env(point)
+        return all(c.satisfied(env) for c in self.constraints)
+
+    def __contains__(self, point: Sequence[int] | Mapping[str, int]) -> bool:
+        return self.contains(point)
+
+    def _env(self, point: Sequence[int] | Mapping[str, int]) -> dict[str, int]:
+        if isinstance(point, Mapping):
+            return {d: int(point[d]) for d in self.space.dims}
+        return self.space.env(point)
+
+    # -- simple set algebra -------------------------------------------------------------
+
+    def intersect(self, other: "BasicSet") -> "BasicSet":
+        """Conjunction of both constraint systems (spaces must match dims)."""
+        if self.space.dims != other.space.dims:
+            raise ValueError("cannot intersect sets over different spaces")
+        return BasicSet(self.space, [*self.constraints, *other.constraints])
+
+    def add_constraint(self, constraint: Constraint) -> "BasicSet":
+        """Return a new set with one extra constraint."""
+        return BasicSet(self.space, [*self.constraints, constraint])
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> "BasicSet":
+        return BasicSet(self.space, [*self.constraints, *constraints])
+
+    def gist(self) -> "BasicSet":
+        """Drop constraints implied by the others (cheap redundancy removal)."""
+        kept: list[Constraint] = []
+        for i, candidate in enumerate(self.constraints):
+            others = [c for j, c in enumerate(self.constraints) if j != i]
+            # The candidate is redundant if the set without it cannot violate it.
+            negation = candidate.negated()
+            redundant = True
+            for neg in negation:
+                trial = BasicSet(self.space, [*others, neg])
+                if not trial.is_rationally_empty():
+                    redundant = False
+                    break
+            if not redundant:
+                kept.append(candidate)
+        return BasicSet(self.space, kept)
+
+    def rename_dims(self, mapping: Mapping[str, str]) -> "BasicSet":
+        """Rename dimensions of the set."""
+        new_dims = tuple(mapping.get(d, d) for d in self.space.dims)
+        return BasicSet(
+            Space(new_dims, self.space.name),
+            [c.rename(dict(mapping)) for c in self.constraints],
+        )
+
+    # -- emptiness, bounds, sampling -----------------------------------------------------
+
+    def is_rationally_empty(self) -> bool:
+        """Whether the rational relaxation of the set is empty."""
+        result = lp_minimize(LinearExpr.zero(), self.constraints, self.space.dims)
+        return result.status is LPStatus.INFEASIBLE
+
+    def is_empty(self, enumeration_limit: int = 200_000) -> bool:
+        """Whether the set contains no integer point.
+
+        The rational relaxation is checked first; if it is non-empty and the
+        set is bounded with at most ``enumeration_limit`` candidate points the
+        answer is exact (by enumeration), otherwise a rational sample point is
+        rounded and checked, falling back to the rational answer.  The sets
+        manipulated by the tiling pipeline are small and bounded, so in
+        practice the answer is always exact.
+        """
+        if self.is_rationally_empty():
+            return True
+        box = self.bounding_box()
+        if box is not None:
+            candidates = 1
+            for lower, upper in box:
+                candidates *= max(0, upper - lower + 1)
+                if candidates > enumeration_limit:
+                    break
+            if candidates <= enumeration_limit:
+                return next(iter(self.points()), None) is None
+        sample = self.sample_point()
+        return sample is None
+
+    def dim_min(self, dim: str) -> Fraction | None:
+        """Rational minimum of ``dim`` over the set (None if unbounded/empty)."""
+        result = lp_minimize(LinearExpr.var(dim), self.constraints, self.space.dims)
+        if result.status is LPStatus.OPTIMAL:
+            return result.value
+        return None
+
+    def dim_max(self, dim: str) -> Fraction | None:
+        """Rational maximum of ``dim`` over the set (None if unbounded/empty)."""
+        result = lp_maximize(LinearExpr.var(dim), self.constraints, self.space.dims)
+        if result.status is LPStatus.OPTIMAL:
+            return result.value
+        return None
+
+    def expr_min(self, expr: LinearExpr) -> Fraction | None:
+        result = lp_minimize(expr, self.constraints, self.space.dims)
+        return result.value if result.status is LPStatus.OPTIMAL else None
+
+    def expr_max(self, expr: LinearExpr) -> Fraction | None:
+        result = lp_maximize(expr, self.constraints, self.space.dims)
+        return result.value if result.status is LPStatus.OPTIMAL else None
+
+    def bounding_box(self) -> list[tuple[int, int]] | None:
+        """Integer bounding box ``[(lo, hi), ...]`` in dimension order.
+
+        Returns ``None`` when the set is rationally empty or unbounded in some
+        dimension.
+        """
+        if self.is_rationally_empty():
+            return None
+        box: list[tuple[int, int]] = []
+        for dim in self.space.dims:
+            lower = self.dim_min(dim)
+            upper = self.dim_max(dim)
+            if lower is None or upper is None:
+                return None
+            box.append((math.ceil(lower), math.floor(upper)))
+        return box
+
+    def sample_point(self) -> tuple[int, ...] | None:
+        """Some integer point of the set, or None if none is found."""
+        for point in itertools.islice(self.points(), 1):
+            return point
+        return None
+
+    # -- enumeration and counting ------------------------------------------------------------
+
+    def points(self) -> Iterator[tuple[int, ...]]:
+        """Iterate over the integer points of a bounded set.
+
+        Enumeration walks the bounding box dimension by dimension, narrowing
+        bounds with LP as coordinates are fixed, so it is efficient for the
+        thin, skewed tile shapes that occur in hexagonal tiling.
+        """
+        if self.is_rationally_empty():
+            return
+        yield from self._enumerate([], self.constraints)
+
+    def _enumerate(
+        self,
+        prefix: list[int],
+        constraints: list[Constraint],
+    ) -> Iterator[tuple[int, ...]]:
+        depth = len(prefix)
+        if depth == self.space.ndim:
+            yield tuple(prefix)
+            return
+        dim = self.space.dims[depth]
+        remaining_dims = self.space.dims[depth:]
+        lower = lp_minimize(LinearExpr.var(dim), constraints, remaining_dims)
+        upper = lp_maximize(LinearExpr.var(dim), constraints, remaining_dims)
+        if lower.status is not LPStatus.OPTIMAL or upper.status is not LPStatus.OPTIMAL:
+            raise ValueError(
+                f"cannot enumerate unbounded or empty dimension {dim!r}"
+            )
+        low = math.ceil(lower.value)
+        high = math.floor(upper.value)
+        for value in range(low, high + 1):
+            fixed = [
+                c.substitute({dim: LinearExpr.const(value)}) for c in constraints
+            ]
+            trivially_false = any(c.is_trivially_false() for c in fixed)
+            if trivially_false:
+                continue
+            fixed = [c for c in fixed if not c.is_trivially_true()]
+            if depth + 1 < self.space.ndim:
+                feasible = lp_minimize(
+                    LinearExpr.zero(), fixed, self.space.dims[depth + 1 :]
+                )
+                if feasible.status is LPStatus.INFEASIBLE:
+                    continue
+            yield from self._enumerate(prefix + [value], fixed)
+
+    def count(self) -> int:
+        """Exact number of integer points (the set must be bounded)."""
+        return sum(1 for _ in self.points())
+
+    # -- projection -----------------------------------------------------------------
+
+    def project_out(self, dims: Iterable[str]) -> "BasicSet":
+        """Existentially project out the given dimensions (Fourier–Motzkin).
+
+        The projection is computed on the rational relaxation, which is an
+        over-approximation of the integer projection; it is exact for the box
+        and cone shapes used in this code base and is only used where an
+        over-approximation is safe (footprints and bounds).
+        """
+        to_remove = [d for d in dims]
+        constraints = list(self.constraints)
+        remaining_dims = [d for d in self.space.dims if d not in to_remove]
+        for dim in to_remove:
+            constraints = _fourier_motzkin_step(constraints, dim)
+        new_space = Space(tuple(remaining_dims), self.space.name)
+        return BasicSet(new_space, constraints)
+
+    def project_onto(self, dims: Sequence[str]) -> "BasicSet":
+        """Project onto the given dimensions (drop all others)."""
+        drop = [d for d in self.space.dims if d not in dims]
+        projected = self.project_out(drop)
+        order = [d for d in dims if d in projected.space.dims]
+        return BasicSet(Space(tuple(order), self.space.name), projected.constraints)
+
+    # -- transformation ---------------------------------------------------------------
+
+    def translate(self, offsets: Mapping[str, int]) -> "BasicSet":
+        """Translate the set by integer offsets along named dimensions."""
+        bindings = {
+            dim: LinearExpr.var(dim) - offset for dim, offset in offsets.items()
+        }
+        return BasicSet(
+            self.space, [c.substitute(bindings) for c in self.constraints]
+        )
+
+    def filter_points(
+        self, predicate: Callable[[tuple[int, ...]], bool]
+    ) -> list[tuple[int, ...]]:
+        """Enumerate and keep the points satisfying ``predicate``."""
+        return [p for p in self.points() if predicate(p)]
+
+    # -- dunder -----------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        constraint_text = " and ".join(str(c) for c in self.constraints) or "true"
+        return f"{{ {self.space} : {constraint_text} }}"
+
+    def __repr__(self) -> str:
+        return f"BasicSet({self})"
+
+
+def _fourier_motzkin_step(
+    constraints: list[Constraint], dim: str
+) -> list[Constraint]:
+    """Eliminate ``dim`` from a conjunction of constraints."""
+    lower: list[tuple[Fraction, LinearExpr]] = []  # coeff > 0:  coeff*d >= -rest
+    upper: list[tuple[Fraction, LinearExpr]] = []  # coeff < 0: -coeff*d <= rest
+    independent: list[Constraint] = []
+    equalities: list[Constraint] = []
+
+    for constraint in constraints:
+        coeff = constraint.expr.coefficient(dim)
+        if coeff == 0:
+            independent.append(constraint)
+        elif constraint.is_equality:
+            equalities.append(constraint)
+        elif coeff > 0:
+            lower.append((coeff, constraint.expr))
+        else:
+            upper.append((coeff, constraint.expr))
+
+    if equalities:
+        # Use the first equality to substitute the dimension away, then recurse.
+        eq = equalities[0]
+        coeff = eq.expr.coefficient(dim)
+        # dim = -(rest)/coeff
+        rest = eq.expr - LinearExpr.var(dim, coeff)
+        replacement = rest * (Fraction(-1) / coeff)
+        substituted = []
+        for constraint in constraints:
+            if constraint is eq:
+                continue
+            substituted.append(constraint.substitute({dim: replacement}))
+        return [c for c in substituted if not c.is_trivially_true()]
+
+    result = list(independent)
+    for coeff_low, expr_low in lower:
+        for coeff_up, expr_up in upper:
+            # expr_low >= 0 with positive coeff, expr_up >= 0 with negative coeff.
+            combined = expr_low * (-coeff_up) + expr_up * coeff_low
+            constraint = Constraint(combined, is_equality=False)
+            if not constraint.is_trivially_true():
+                result.append(constraint.normalized())
+    return result

@@ -1,0 +1,170 @@
+"""Affine maps between named spaces.
+
+An :class:`AffineMap` maps points of a domain space to points of a range
+space, each output coordinate being an affine expression of the input
+coordinates.  Access relations (statement instance -> array element) and the
+initial schedules of Section 3.2 of the paper are affine maps; the final
+hybrid schedule additionally needs floor-division and modulo and is therefore
+expressed with :mod:`repro.polyhedral.quasi_affine` expressions instead.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.polyhedral.affine import LinearExpr, Rational
+from repro.polyhedral.basic_set import BasicSet
+from repro.polyhedral.constraint import Constraint
+from repro.polyhedral.space import Space
+
+
+class AffineMap:
+    """An affine map ``domain_space -> range_space``.
+
+    Parameters
+    ----------
+    domain_space:
+        Space of the inputs.
+    range_space:
+        Space of the outputs.
+    outputs:
+        One affine expression (over the domain dims) per output dimension,
+        in range-space order.
+    """
+
+    def __init__(
+        self,
+        domain_space: Space,
+        range_space: Space,
+        outputs: Sequence[LinearExpr],
+    ) -> None:
+        if len(outputs) != range_space.ndim:
+            raise ValueError(
+                f"expected {range_space.ndim} output expressions, got {len(outputs)}"
+            )
+        for expr in outputs:
+            unknown = expr.variables() - set(domain_space.dims)
+            if unknown:
+                raise ValueError(
+                    f"output expression {expr} uses unknown dims {sorted(unknown)}"
+                )
+        self.domain_space = domain_space
+        self.range_space = range_space
+        self.outputs = list(outputs)
+
+    # -- constructors ---------------------------------------------------------------
+
+    @staticmethod
+    def identity(space: Space) -> "AffineMap":
+        return AffineMap(space, space, [LinearExpr.var(d) for d in space.dims])
+
+    @staticmethod
+    def from_offsets(
+        domain_space: Space,
+        range_space: Space,
+        source_dims: Sequence[str],
+        offsets: Sequence[Rational],
+    ) -> "AffineMap":
+        """Map ``[..., d, ...] -> [d + offset, ...]`` (typical stencil access)."""
+        if len(source_dims) != range_space.ndim or len(offsets) != range_space.ndim:
+            raise ValueError("source_dims and offsets must match the range arity")
+        outputs = [
+            LinearExpr.var(dim) + offset for dim, offset in zip(source_dims, offsets)
+        ]
+        return AffineMap(domain_space, range_space, outputs)
+
+    @staticmethod
+    def from_dict(
+        domain_space: Space,
+        range_space: Space,
+        exprs: Mapping[str, LinearExpr],
+    ) -> "AffineMap":
+        outputs = [exprs[d] for d in range_space.dims]
+        return AffineMap(domain_space, range_space, outputs)
+
+    # -- application ------------------------------------------------------------------
+
+    def apply_point(
+        self, point: Sequence[int] | Mapping[str, int]
+    ) -> tuple[Fraction, ...]:
+        """Image of a single point (may be fractional for rational maps)."""
+        if isinstance(point, Mapping):
+            env = {d: point[d] for d in self.domain_space.dims}
+        else:
+            env = self.domain_space.env(point)
+        return tuple(expr.evaluate(env) for expr in self.outputs)
+
+    def apply_int_point(
+        self, point: Sequence[int] | Mapping[str, int]
+    ) -> tuple[int, ...]:
+        """Image of a point, asserting that every coordinate is integral."""
+        image = self.apply_point(point)
+        result = []
+        for value in image:
+            if value.denominator != 1:
+                raise ValueError(f"non-integral image coordinate {value}")
+            result.append(int(value))
+        return tuple(result)
+
+    def apply_set(self, domain: BasicSet) -> BasicSet:
+        """Exact image of a set under an *invertible-by-substitution* map.
+
+        The image is computed by introducing the output dims, adding the
+        equalities ``out = expr(in)`` and projecting out the input dims.  The
+        rational projection is exact for the unimodular-like maps used in this
+        code base (offsets, skews and permutations).
+        """
+        combined_space = domain.space.concat(self.range_space)
+        constraints = list(domain.constraints)
+        for out_dim, expr in zip(self.range_space.dims, self.outputs):
+            constraints.append(Constraint.eq(LinearExpr.var(out_dim), expr))
+        combined = BasicSet(combined_space, constraints)
+        projected = combined.project_out(domain.space.dims)
+        return BasicSet(self.range_space, projected.constraints)
+
+    def image_box(self, domain_box: Mapping[str, tuple[int, int]]) -> list[tuple[int, int]]:
+        """Interval-arithmetic image of a box (used for footprint bounds)."""
+        result: list[tuple[int, int]] = []
+        for expr in self.outputs:
+            low = expr.constant
+            high = expr.constant
+            for name, coeff in expr.coeffs.items():
+                lo, hi = domain_box[name]
+                if coeff >= 0:
+                    low += coeff * lo
+                    high += coeff * hi
+                else:
+                    low += coeff * hi
+                    high += coeff * lo
+            result.append((_floor(low), _ceil(high)))
+        return result
+
+    # -- composition --------------------------------------------------------------------
+
+    def compose(self, inner: "AffineMap") -> "AffineMap":
+        """Return ``self ∘ inner`` (apply ``inner`` first)."""
+        if inner.range_space.dims != self.domain_space.dims:
+            raise ValueError("range of inner map must match domain of outer map")
+        bindings = dict(zip(self.domain_space.dims, inner.outputs))
+        outputs = [expr.substitute(bindings) for expr in self.outputs]
+        return AffineMap(inner.domain_space, self.range_space, outputs)
+
+    def output_expr(self, dim: str) -> LinearExpr:
+        """Expression computing the named output dimension."""
+        return self.outputs[self.range_space.index(dim)]
+
+    def __str__(self) -> str:
+        outputs = ", ".join(str(e) for e in self.outputs)
+        return f"{{ {self.domain_space} -> [{outputs}] }}"
+
+    def __repr__(self) -> str:
+        return f"AffineMap({self})"
+
+
+def _floor(value: Fraction) -> int:
+    return value.numerator // value.denominator
+
+
+def _ceil(value: Fraction) -> int:
+    return -((-value.numerator) // value.denominator)

@@ -1,0 +1,153 @@
+"""Unions of convex integer sets.
+
+An :class:`ISet` is a finite union of :class:`BasicSet` pieces over the same
+space, mirroring isl's ``set``/``union_set``.  Subtraction of convex sets (the
+operation at the heart of the hexagonal tile construction, Section 3.3.2 of
+the paper) naturally produces such unions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.polyhedral.basic_set import BasicSet
+from repro.polyhedral.constraint import Constraint
+from repro.polyhedral.space import Space
+
+
+class ISet:
+    """A finite union of :class:`BasicSet` pieces over a common space."""
+
+    def __init__(self, space: Space, pieces: Iterable[BasicSet] = ()) -> None:
+        self.space = space
+        self.pieces: list[BasicSet] = []
+        for piece in pieces:
+            if piece.space.dims != space.dims:
+                raise ValueError("all pieces must share the set's space")
+            if not piece.is_rationally_empty():
+                self.pieces.append(piece)
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def from_basic(basic: BasicSet) -> "ISet":
+        return ISet(basic.space, [basic])
+
+    @staticmethod
+    def empty(space: Space) -> "ISet":
+        return ISet(space, [])
+
+    @staticmethod
+    def universe(space: Space) -> "ISet":
+        return ISet(space, [BasicSet.universe(space)])
+
+    # -- queries ----------------------------------------------------------------
+
+    def contains(self, point: Sequence[int] | Mapping[str, int]) -> bool:
+        return any(piece.contains(point) for piece in self.pieces)
+
+    def __contains__(self, point: Sequence[int] | Mapping[str, int]) -> bool:
+        return self.contains(point)
+
+    def is_empty(self) -> bool:
+        """Whether the union contains no integer point."""
+        return all(piece.is_empty() for piece in self.pieces)
+
+    def points(self) -> Iterator[tuple[int, ...]]:
+        """Iterate integer points of the union without duplicates."""
+        seen: set[tuple[int, ...]] = set()
+        for piece in self.pieces:
+            for point in piece.points():
+                if point not in seen:
+                    seen.add(point)
+                    yield point
+
+    def count(self) -> int:
+        """Exact number of integer points in the union (must be bounded)."""
+        return sum(1 for _ in self.points())
+
+    def bounding_box(self) -> list[tuple[int, int]] | None:
+        """Bounding box of the union (None if empty or unbounded)."""
+        boxes = [piece.bounding_box() for piece in self.pieces]
+        boxes = [box for box in boxes if box is not None]
+        if not boxes:
+            return None
+        merged: list[tuple[int, int]] = []
+        for axis in range(self.space.ndim):
+            merged.append(
+                (
+                    min(box[axis][0] for box in boxes),
+                    max(box[axis][1] for box in boxes),
+                )
+            )
+        return merged
+
+    # -- set algebra -------------------------------------------------------------
+
+    def union(self, other: "ISet | BasicSet") -> "ISet":
+        other_set = _coerce(other)
+        return ISet(self.space, [*self.pieces, *other_set.pieces])
+
+    def intersect(self, other: "ISet | BasicSet") -> "ISet":
+        other_set = _coerce(other)
+        pieces = []
+        for a in self.pieces:
+            for b in other_set.pieces:
+                pieces.append(a.intersect(b))
+        return ISet(self.space, pieces)
+
+    def subtract(self, other: "ISet | BasicSet") -> "ISet":
+        """Integer set difference ``self \\ other``.
+
+        Subtracting a convex piece distributes the negation of each of its
+        constraints over the current pieces; the result is a (possibly
+        overlapping) union that covers exactly the difference.
+        """
+        other_set = _coerce(other)
+        result = self
+        for piece in other_set.pieces:
+            result = result._subtract_basic(piece)
+        return result
+
+    def _subtract_basic(self, other: BasicSet) -> "ISet":
+        new_pieces: list[BasicSet] = []
+        for piece in self.pieces:
+            if not other.constraints:
+                continue  # subtracting the universe removes everything
+            for index, constraint in enumerate(other.constraints):
+                negated = constraint.negated()
+                # Keep points satisfying the first `index` constraints of
+                # `other` but violating constraint `index`; this yields a
+                # disjoint decomposition of the difference.
+                prefix = other.constraints[:index]
+                for neg in negated:
+                    candidate = piece.add_constraints([*prefix, neg])
+                    if not candidate.is_rationally_empty():
+                        new_pieces.append(candidate)
+        return ISet(self.space, new_pieces)
+
+    def coalesce(self) -> "ISet":
+        """Drop pieces that contain no integer points."""
+        return ISet(self.space, [p for p in self.pieces if not p.is_empty()])
+
+    # -- transformation ------------------------------------------------------------
+
+    def translate(self, offsets: Mapping[str, int]) -> "ISet":
+        return ISet(self.space, [p.translate(offsets) for p in self.pieces])
+
+    def add_constraint(self, constraint: Constraint) -> "ISet":
+        return ISet(self.space, [p.add_constraint(constraint) for p in self.pieces])
+
+    def __str__(self) -> str:
+        if not self.pieces:
+            return f"{{ {self.space} : false }}"
+        return " ∪ ".join(str(piece) for piece in self.pieces)
+
+    def __repr__(self) -> str:
+        return f"ISet({len(self.pieces)} pieces over {self.space})"
+
+
+def _coerce(value: "ISet | BasicSet") -> ISet:
+    if isinstance(value, ISet):
+        return value
+    return ISet.from_basic(value)

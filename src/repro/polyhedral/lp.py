@@ -1,0 +1,284 @@
+"""Exact rational linear programming (two-phase simplex).
+
+The tiling algorithm needs a handful of small LPs:
+
+* the slopes ``δ0`` and ``δ1`` of the opposite dependence cone
+  (Section 3.3.2 of the paper) are the optima of small LPs over the
+  dependence distance vectors;
+* bounding boxes of iteration domains and tile footprints are obtained by
+  minimising / maximising each coordinate subject to the set's constraints;
+* rational emptiness of a constraint system is a phase-1 feasibility check.
+
+All arithmetic uses :class:`fractions.Fraction`; Bland's rule is used for
+pivot selection so the algorithm terminates on degenerate problems.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.polyhedral.affine import LinearExpr
+from repro.polyhedral.constraint import Constraint
+
+
+class LPStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Result of an LP solve.
+
+    ``value`` and ``point`` are only meaningful when ``status`` is
+    :attr:`LPStatus.OPTIMAL`.
+    """
+
+    status: LPStatus
+    value: Fraction | None = None
+    point: dict[str, Fraction] | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+
+def lp_minimize(
+    objective: LinearExpr,
+    constraints: Sequence[Constraint],
+    variables: Sequence[str] | None = None,
+) -> LPResult:
+    """Minimise ``objective`` subject to ``constraints`` over the rationals.
+
+    Variables are free (may take any sign).  ``variables`` fixes the variable
+    order and may include variables not mentioned in the constraints.
+    """
+    solver = _Simplex(objective, constraints, variables)
+    return solver.solve()
+
+
+def lp_maximize(
+    objective: LinearExpr,
+    constraints: Sequence[Constraint],
+    variables: Sequence[str] | None = None,
+) -> LPResult:
+    """Maximise ``objective`` subject to ``constraints`` over the rationals."""
+    result = lp_minimize(objective * -1, constraints, variables)
+    if result.status is LPStatus.OPTIMAL:
+        assert result.value is not None
+        return LPResult(LPStatus.OPTIMAL, -result.value, result.point)
+    return result
+
+
+def lp_feasible(
+    constraints: Sequence[Constraint],
+    variables: Sequence[str] | None = None,
+) -> bool:
+    """Whether the constraint system has a rational solution."""
+    result = lp_minimize(LinearExpr.zero(), constraints, variables)
+    return result.status is not LPStatus.INFEASIBLE
+
+
+class _Simplex:
+    """Two-phase tableau simplex over exact rationals.
+
+    Free variables are split into a difference of two non-negative variables.
+    Constraints are converted to equalities with slack variables; artificial
+    variables are added for phase 1.
+    """
+
+    def __init__(
+        self,
+        objective: LinearExpr,
+        constraints: Sequence[Constraint],
+        variables: Sequence[str] | None,
+    ) -> None:
+        names: list[str] = list(variables) if variables is not None else []
+        seen = set(names)
+        for source in [objective, *[c.expr for c in constraints]]:
+            for name in sorted(source.variables()):
+                if name not in seen:
+                    names.append(name)
+                    seen.add(name)
+        self.var_names = names
+        self.objective = objective
+        self.constraints = list(constraints)
+
+    # Each free variable x becomes x_pos - x_neg with both >= 0.
+    # Column layout: [pos_0, neg_0, pos_1, neg_1, ..., slacks..., artificials...]
+
+    def solve(self) -> LPResult:
+        rows: list[list[Fraction]] = []
+        rhs: list[Fraction] = []
+        n_vars = len(self.var_names)
+        n_split = 2 * n_vars
+
+        row_specs: list[tuple[list[Fraction], Fraction, bool]] = []
+        for constraint in self.constraints:
+            coeffs = [constraint.expr.coefficient(v) for v in self.var_names]
+            const = constraint.expr.constant
+            if constraint.is_equality:
+                # sum coeffs*x + const == 0  ->  sum coeffs*x == -const
+                row_specs.append((coeffs, -const, True))
+            else:
+                # sum coeffs*x + const >= 0  ->  -sum coeffs*x <= const
+                row_specs.append(([-c for c in coeffs], const, False))
+
+        n_ineq = sum(1 for _, _, is_eq in row_specs if not is_eq)
+        n_slack = n_ineq
+        slack_index = 0
+        for coeffs, bound, is_eq in row_specs:
+            row = [Fraction(0)] * (n_split + n_slack)
+            for j, coeff in enumerate(coeffs):
+                row[2 * j] = coeff
+                row[2 * j + 1] = -coeff
+            if not is_eq:
+                row[n_split + slack_index] = Fraction(1)
+                slack_index += 1
+            rows.append(row)
+            rhs.append(bound)
+
+        # Make all right-hand sides non-negative.
+        for i in range(len(rows)):
+            if rhs[i] < 0:
+                rows[i] = [-v for v in rows[i]]
+                rhs[i] = -rhs[i]
+
+        n_total = n_split + n_slack
+        n_rows = len(rows)
+        # Add one artificial variable per row (simple and always correct).
+        for i in range(n_rows):
+            rows[i] = rows[i] + [
+                Fraction(1) if j == i else Fraction(0) for j in range(n_rows)
+            ]
+        basis = [n_total + i for i in range(n_rows)]
+        n_cols = n_total + n_rows
+
+        tableau = [rows[i] + [rhs[i]] for i in range(n_rows)]
+
+        # Phase 1: minimise the sum of artificial variables.
+        phase1_costs = [Fraction(0)] * n_cols
+        for j in range(n_total, n_cols):
+            phase1_costs[j] = Fraction(1)
+        status = self._optimize(tableau, basis, phase1_costs, n_cols)
+        if status is LPStatus.UNBOUNDED:  # pragma: no cover - cannot happen
+            return LPResult(LPStatus.INFEASIBLE)
+        phase1_value = self._objective_value(tableau, basis, phase1_costs)
+        if phase1_value != 0:
+            return LPResult(LPStatus.INFEASIBLE)
+
+        # Drive artificial variables out of the basis where possible.
+        for i in range(n_rows):
+            if basis[i] >= n_total:
+                pivot_col = None
+                for j in range(n_total):
+                    if tableau[i][j] != 0:
+                        pivot_col = j
+                        break
+                if pivot_col is not None:
+                    self._pivot(tableau, basis, i, pivot_col)
+
+        # Phase 2: original objective on the split variables.
+        phase2_costs = [Fraction(0)] * n_cols
+        for j, name in enumerate(self.var_names):
+            coeff = self.objective.coefficient(name)
+            phase2_costs[2 * j] = coeff
+            phase2_costs[2 * j + 1] = -coeff
+        # Forbid re-entry of artificial variables with a prohibitive cost of
+        # "infinity": simply exclude their columns during phase 2 pivoting by
+        # treating them as absent (cost zero but never eligible).
+        status = self._optimize(
+            tableau, basis, phase2_costs, n_total, blocked_from=n_total
+        )
+        if status is LPStatus.UNBOUNDED:
+            return LPResult(LPStatus.UNBOUNDED)
+
+        point: dict[str, Fraction] = {}
+        values = [Fraction(0)] * n_cols
+        for i, b in enumerate(basis):
+            values[b] = tableau[i][-1]
+        for j, name in enumerate(self.var_names):
+            point[name] = values[2 * j] - values[2 * j + 1]
+        value = self.objective.evaluate(point)
+        return LPResult(LPStatus.OPTIMAL, value, point)
+
+    # -- simplex machinery ------------------------------------------------------
+
+    @staticmethod
+    def _objective_value(
+        tableau: list[list[Fraction]],
+        basis: list[int],
+        costs: list[Fraction],
+    ) -> Fraction:
+        total = Fraction(0)
+        for i, b in enumerate(basis):
+            total += costs[b] * tableau[i][-1]
+        return total
+
+    def _optimize(
+        self,
+        tableau: list[list[Fraction]],
+        basis: list[int],
+        costs: list[Fraction],
+        n_eligible: int,
+        blocked_from: int | None = None,
+    ) -> LPStatus:
+        n_rows = len(tableau)
+        max_iterations = 10_000
+        for _ in range(max_iterations):
+            # Reduced costs.
+            entering = None
+            for j in range(n_eligible):
+                if blocked_from is not None and j >= blocked_from:
+                    continue
+                if j in basis:
+                    continue
+                reduced = costs[j]
+                for i in range(n_rows):
+                    reduced -= costs[basis[i]] * tableau[i][j]
+                if reduced < 0:
+                    entering = j  # Bland's rule: first eligible index.
+                    break
+            if entering is None:
+                return LPStatus.OPTIMAL
+            # Ratio test.
+            leaving = None
+            best_ratio: Fraction | None = None
+            for i in range(n_rows):
+                coeff = tableau[i][entering]
+                if coeff > 0:
+                    ratio = tableau[i][-1] / coeff
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio
+                        or (ratio == best_ratio and basis[i] < basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving is None:
+                return LPStatus.UNBOUNDED
+            self._pivot(tableau, basis, leaving, entering)
+        raise RuntimeError("simplex did not converge (cycling suspected)")
+
+    @staticmethod
+    def _pivot(
+        tableau: list[list[Fraction]],
+        basis: list[int],
+        row: int,
+        col: int,
+    ) -> None:
+        pivot_value = tableau[row][col]
+        tableau[row] = [v / pivot_value for v in tableau[row]]
+        for i in range(len(tableau)):
+            if i != row and tableau[i][col] != 0:
+                factor = tableau[i][col]
+                tableau[i] = [
+                    a - factor * b for a, b in zip(tableau[i], tableau[row])
+                ]
+        basis[row] = col

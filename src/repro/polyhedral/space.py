@@ -1,0 +1,115 @@
+"""Named dimension spaces.
+
+A :class:`Space` is an ordered tuple of dimension names.  Iteration domains,
+schedules and access relations all live in some space; keeping the names
+around (instead of bare indices) makes dependence analysis and code
+generation much easier to read and to debug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Space:
+    """An ordered, named, integer dimension space.
+
+    Parameters
+    ----------
+    dims:
+        The dimension names, in order.  Names must be unique.
+    name:
+        Optional label used in diagnostics (for example the statement name
+        an iteration domain belongs to).
+    """
+
+    dims: tuple[str, ...]
+    name: str = ""
+
+    def __init__(self, dims: Iterable[str], name: str = "") -> None:
+        dims_tuple = tuple(dims)
+        if len(set(dims_tuple)) != len(dims_tuple):
+            raise ValueError(f"duplicate dimension names in {dims_tuple!r}")
+        object.__setattr__(self, "dims", dims_tuple)
+        object.__setattr__(self, "name", name)
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.dims)
+
+    def __contains__(self, dim: str) -> bool:
+        return dim in self.dims
+
+    def index(self, dim: str) -> int:
+        """Position of dimension ``dim``; raises ``ValueError`` if absent."""
+        return self.dims.index(dim)
+
+    # -- construction helpers ---------------------------------------------
+
+    def renamed(self, name: str) -> "Space":
+        """Return a copy of this space carrying a new label."""
+        return Space(self.dims, name=name)
+
+    def with_dims(self, dims: Sequence[str]) -> "Space":
+        """Return a space with the given dims, keeping this space's label."""
+        return Space(tuple(dims), name=self.name)
+
+    def insert(self, position: int, dim: str) -> "Space":
+        """Return a new space with ``dim`` inserted at ``position``."""
+        if dim in self.dims:
+            raise ValueError(f"dimension {dim!r} already present")
+        new_dims = list(self.dims)
+        new_dims.insert(position, dim)
+        return Space(tuple(new_dims), name=self.name)
+
+    def drop(self, dim: str) -> "Space":
+        """Return a new space without dimension ``dim``."""
+        if dim not in self.dims:
+            raise ValueError(f"dimension {dim!r} not present")
+        return Space(tuple(d for d in self.dims if d != dim), name=self.name)
+
+    def concat(self, other: "Space") -> "Space":
+        """Concatenate two spaces (dimension names must not clash)."""
+        overlap = set(self.dims) & set(other.dims)
+        if overlap:
+            raise ValueError(f"dimension names clash: {sorted(overlap)}")
+        return Space(self.dims + other.dims, name=self.name)
+
+    def prefixed(self, prefix: str) -> "Space":
+        """Return a space with every dimension name prefixed."""
+        return Space(tuple(prefix + d for d in self.dims), name=self.name)
+
+    # -- point helpers -----------------------------------------------------
+
+    def point(self, **coords: int) -> tuple[int, ...]:
+        """Build a point (tuple ordered like this space) from keyword coords."""
+        missing = [d for d in self.dims if d not in coords]
+        if missing:
+            raise ValueError(f"missing coordinates for {missing}")
+        extra = [k for k in coords if k not in self.dims]
+        if extra:
+            raise ValueError(f"unknown dimensions {extra}")
+        return tuple(int(coords[d]) for d in self.dims)
+
+    def env(self, point: Sequence[int]) -> dict[str, int]:
+        """Turn an ordered point into a ``{dim_name: value}`` environment."""
+        if len(point) != self.ndim:
+            raise ValueError(
+                f"point has {len(point)} coordinates, space has {self.ndim}"
+            )
+        return {d: int(v) for d, v in zip(self.dims, point)}
+
+    def __str__(self) -> str:
+        label = f"{self.name}" if self.name else ""
+        return f"{label}[{', '.join(self.dims)}]"

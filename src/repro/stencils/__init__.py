@@ -1,0 +1,25 @@
+"""The benchmark stencils of the paper (Table 3) plus a few extras for tests.
+
+Every stencil is available both as a :class:`~repro.model.program.StencilProgram`
+factory (:func:`get_stencil`) and as C source text
+(:func:`repro.stencils.library.c_source_for`), the latter exercising the
+front end.
+"""
+
+from repro.stencils.library import (
+    StencilDefinition,
+    c_source_for,
+    get_stencil,
+    jacobi_2d_source,
+    list_stencils,
+    paper_benchmarks,
+)
+
+__all__ = [
+    "StencilDefinition",
+    "get_stencil",
+    "list_stencils",
+    "paper_benchmarks",
+    "c_source_for",
+    "jacobi_2d_source",
+]

@@ -1,0 +1,54 @@
+"""Tiling algorithms: hexagonal, classical, hybrid and diamond.
+
+This package implements Section 3 of the paper:
+
+* :mod:`repro.tiling.cone` — opposite dependence cone and the slopes
+  ``δ0``/``δ1`` (Section 3.3.2, Figure 3);
+* :mod:`repro.tiling.hexagon` — the hexagonal tile shape, its constraints and
+  the minimal-width condition (equation (1), Figure 4);
+* :mod:`repro.tiling.hex_schedule` — the two-phase hexagonal tile schedule
+  (equations (2)–(5), Figure 5);
+* :mod:`repro.tiling.classical` — classical (parallelogram) tiling of the
+  remaining space dimensions (equations (14)–(16));
+* :mod:`repro.tiling.hybrid` — the combined hybrid schedule (Section 3.6,
+  Figure 6) including intra-tile schedules (Section 3.5);
+* :mod:`repro.tiling.tile_size` — load-to-compute based tile-size selection
+  (Section 3.7);
+* :mod:`repro.tiling.diamond` — diamond tiling, used for the qualitative
+  comparison of Section 5;
+* :mod:`repro.tiling.validate` — legality, coverage and parallelism checks.
+"""
+
+from repro.tiling.cone import DependenceCone
+from repro.tiling.hexagon import HexagonalTileShape
+from repro.tiling.hex_schedule import HexagonalSchedule, Phase
+from repro.tiling.classical import ClassicalTiling
+from repro.tiling.hybrid import HybridTiling, TileCoordinate, TileSizes
+from repro.tiling.tile_size import TileSizeModel, select_tile_sizes
+from repro.tiling.diamond import DiamondTiling
+from repro.tiling.validate import (
+    ScheduleValidationError,
+    check_coverage,
+    check_legality,
+    check_tile_uniformity,
+    validate_hybrid_tiling,
+)
+
+__all__ = [
+    "DependenceCone",
+    "HexagonalTileShape",
+    "HexagonalSchedule",
+    "Phase",
+    "ClassicalTiling",
+    "HybridTiling",
+    "TileCoordinate",
+    "TileSizes",
+    "TileSizeModel",
+    "select_tile_sizes",
+    "DiamondTiling",
+    "ScheduleValidationError",
+    "check_coverage",
+    "check_legality",
+    "check_tile_uniformity",
+    "validate_hybrid_tiling",
+]

@@ -1,0 +1,225 @@
+"""The two-phase hexagonal tile schedule (Section 3.3.3, Figure 5).
+
+The schedule maps the two-dimensional canonical space ``[l, s0]`` (``l`` is
+logical time) to a three-dimensional tile space ``[T, p, S0]``:
+
+* phase 0 ("blue" tiles)::
+
+      T  = floor((l + h + 1) / (2h + 2))                                  (2)
+      S0 = floor((s0 + ⌊δ0·h⌋ + w0 + 1 + T·(⌊δ1·h⌋ - ⌊δ0·h⌋))
+                 / (2·w0 + 2 + ⌊δ0·h⌋ + ⌊δ1·h⌋))                          (3)
+
+  Note: equation (3) as printed in the paper uses ``⌊δ1·h⌋ + w0 + 1`` for the
+  phase-0 offset.  With the tile-shape constraints (6)–(13) as printed, that
+  offset only yields an exact tiling when ``⌊δ0·h⌋ = ⌊δ1·h⌋``; for asymmetric
+  dependence cones it leaves gaps (and creates overlaps) between the two
+  phases.  Using ``⌊δ0·h⌋ + w0 + 1`` instead gives exact coverage *and* a
+  legal schedule for every cone we tested (symmetric, asymmetric and
+  fractional slopes), so that is what this implementation — and the
+  property-based tests — use.  The two forms coincide for all benchmarks in
+  the paper's evaluation (their stencils have symmetric cones).
+
+* phase 1 ("green" tiles)::
+
+      T  = floor(l / (2h + 2))                                            (4)
+      S0 = floor((s0 + T·(⌊δ1·h⌋ - ⌊δ0·h⌋))
+                 / (2·w0 + 2 + ⌊δ0·h⌋ + ⌊δ1·h⌋))                          (5)
+
+Within one ``T`` all phase-0 tiles execute before all phase-1 tiles; tiles of
+the same phase form a parallel wavefront indexed by ``S0``.  A point belongs
+to the phase whose hexagon constraints it satisfies in the local coordinates
+``(a, b)`` of the corresponding box; the two phases partition the plane.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.polyhedral.quasi_affine import QExpr, QFloorDiv, QMod, qconst, qvar
+from repro.tiling.hexagon import HexagonalTileShape
+
+
+class Phase(enum.IntEnum):
+    """The two phases of the hexagonal schedule."""
+
+    BLUE = 0   # executed first within a time tile
+    GREEN = 1  # executed second
+
+
+@dataclass(frozen=True)
+class HexTileAssignment:
+    """Result of assigning a canonical point to a hexagonal tile."""
+
+    phase: Phase
+    time_tile: int       # T
+    space_tile: int      # S0
+    local_time: int      # a — also the intra-tile time coordinate t'
+    local_space: int     # b — also the intra-tile space coordinate s0'
+
+
+class HexagonalSchedule:
+    """Hexagonal tiling of the ``(l, s0)`` plane for a given tile shape."""
+
+    def __init__(self, shape: HexagonalTileShape) -> None:
+        self.shape = shape
+
+    # -- per-phase box coordinates -------------------------------------------------
+
+    def phase0_box(self, l: int, s0: int) -> tuple[int, int, int, int]:
+        """Return ``(T, S0, a, b)`` of the phase-0 box containing the point."""
+        shape = self.shape
+        time_tile = (l + shape.height + 1) // shape.time_period
+        numerator = (
+            s0
+            + shape.floor_delta0_h
+            + shape.width
+            + 1
+            + time_tile * shape.drift
+        )
+        space_tile = numerator // shape.space_period
+        local_time = (l + shape.height + 1) % shape.time_period
+        local_space = numerator % shape.space_period
+        return time_tile, space_tile, local_time, local_space
+
+    def phase1_box(self, l: int, s0: int) -> tuple[int, int, int, int]:
+        """Return ``(T, S0, a, b)`` of the phase-1 box containing the point."""
+        shape = self.shape
+        time_tile = l // shape.time_period
+        numerator = s0 + time_tile * shape.drift
+        space_tile = numerator // shape.space_period
+        local_time = l % shape.time_period
+        local_space = numerator % shape.space_period
+        return time_tile, space_tile, local_time, local_space
+
+    # -- assignment --------------------------------------------------------------------
+
+    def assign(self, l: int, s0: int, check_unique: bool = False) -> HexTileAssignment:
+        """Assign a canonical point to its unique hexagonal tile.
+
+        With ``check_unique`` the membership in *both* phases is evaluated and
+        an error is raised unless exactly one phase claims the point (this is
+        how the partitioning property is tested).
+        """
+        t0, S0_0, a0, b0 = self.phase0_box(l, s0)
+        in_phase0 = self.shape.contains(a0, b0)
+        t1, S0_1, a1, b1 = self.phase1_box(l, s0)
+        in_phase1 = self.shape.contains(a1, b1)
+
+        if check_unique and in_phase0 == in_phase1:
+            raise ValueError(
+                f"point (l={l}, s0={s0}) claimed by "
+                f"{'both phases' if in_phase0 else 'no phase'}"
+            )
+        if in_phase0:
+            return HexTileAssignment(Phase.BLUE, t0, S0_0, a0, b0)
+        if in_phase1:
+            return HexTileAssignment(Phase.GREEN, t1, S0_1, a1, b1)
+        raise ValueError(f"point (l={l}, s0={s0}) not covered by any hexagonal tile")
+
+    def tile_points(
+        self, phase: Phase, time_tile: int, space_tile: int
+    ) -> Iterator[tuple[int, int]]:
+        """Canonical points ``(l, s0)`` of one hexagonal tile."""
+        shape = self.shape
+        for a, b in shape.points():
+            if phase is Phase.BLUE:
+                l = time_tile * shape.time_period + a - (shape.height + 1)
+                s0 = (
+                    space_tile * shape.space_period
+                    + b
+                    - shape.floor_delta0_h
+                    - shape.width
+                    - 1
+                    - time_tile * shape.drift
+                )
+            else:
+                l = time_tile * shape.time_period + a
+                s0 = space_tile * shape.space_period + b - time_tile * shape.drift
+            yield (l, s0)
+
+    def tiles_overlapping(
+        self,
+        l_range: tuple[int, int],
+        s_range: tuple[int, int],
+    ) -> Iterator[tuple[Phase, int, int]]:
+        """All tiles that may contain points of the given canonical ranges.
+
+        The enumeration over-approximates by one tile on each border and is
+        used by validators and by the (small-grid) functional simulator.
+        """
+        shape = self.shape
+        l_lo, l_hi = l_range
+        s_lo, s_hi = s_range
+        for phase in (Phase.BLUE, Phase.GREEN):
+            if phase is Phase.BLUE:
+                t_lo = (l_lo + shape.height + 1) // shape.time_period
+                t_hi = (l_hi + shape.height + 1) // shape.time_period
+            else:
+                t_lo = l_lo // shape.time_period
+                t_hi = l_hi // shape.time_period
+            for time_tile in range(t_lo, t_hi + 1):
+                if phase is Phase.BLUE:
+                    offset = (
+                        shape.floor_delta0_h + shape.width + 1 + time_tile * shape.drift
+                    )
+                else:
+                    offset = time_tile * shape.drift
+                s_tile_lo = (s_lo + offset) // shape.space_period - 1
+                s_tile_hi = (s_hi + offset) // shape.space_period + 1
+                for space_tile in range(s_tile_lo, s_tile_hi + 1):
+                    yield (phase, time_tile, space_tile)
+
+    # -- quasi-affine expressions for code generation --------------------------------------
+
+    def time_tile_expr(self, phase: Phase, l: QExpr | None = None) -> QExpr:
+        """Quasi-affine expression of ``T`` as a function of logical time."""
+        logical = l if l is not None else qvar("l")
+        if phase is Phase.BLUE:
+            return QFloorDiv(logical + qconst(self.shape.height + 1), self.shape.time_period)
+        return QFloorDiv(logical, self.shape.time_period)
+
+    def space_tile_expr(
+        self, phase: Phase, s0: QExpr | None = None, time_tile: QExpr | None = None
+    ) -> QExpr:
+        """Quasi-affine expression of ``S0`` given ``s0`` and ``T``."""
+        shape = self.shape
+        space = s0 if s0 is not None else qvar("s0")
+        tile = time_tile if time_tile is not None else qvar("T")
+        if phase is Phase.BLUE:
+            numerator = (
+                space
+                + qconst(shape.floor_delta0_h + shape.width + 1)
+                + tile * shape.drift
+            )
+        else:
+            numerator = space + tile * shape.drift
+        return QFloorDiv(numerator, shape.space_period)
+
+    def local_time_expr(self, phase: Phase, l: QExpr | None = None) -> QExpr:
+        """Quasi-affine expression of the intra-tile time coordinate ``a``."""
+        logical = l if l is not None else qvar("l")
+        if phase is Phase.BLUE:
+            return QMod(logical + qconst(self.shape.height + 1), self.shape.time_period)
+        return QMod(logical, self.shape.time_period)
+
+    def local_space_expr(
+        self, phase: Phase, s0: QExpr | None = None, time_tile: QExpr | None = None
+    ) -> QExpr:
+        """Quasi-affine expression of the intra-tile space coordinate ``b``."""
+        shape = self.shape
+        space = s0 if s0 is not None else qvar("s0")
+        tile = time_tile if time_tile is not None else qvar("T")
+        if phase is Phase.BLUE:
+            numerator = (
+                space
+                + qconst(shape.floor_delta0_h + shape.width + 1)
+                + tile * shape.drift
+            )
+        else:
+            numerator = space + tile * shape.drift
+        return QMod(numerator, shape.space_period)
+
+    def __repr__(self) -> str:
+        return f"HexagonalSchedule({self.shape})"

@@ -1,0 +1,253 @@
+"""The hexagonal tile shape (Section 3.3.2, Figure 4).
+
+A hexagonal tile is described in the local coordinates ``(a, b)`` of the
+rectangular box of one ``(T, S0)`` tile, where ``a`` is the local (logical)
+time coordinate and ``b`` the local space coordinate.  The tile is the set of
+integer points satisfying the constraints (6), (7), (8), (10), (12) and (13)
+of the paper:
+
+.. math::
+
+    δ0·a - b &\\le (2h+1)·δ0 - ⌊δ0·h⌋            \\qquad (6) \\\\
+    a &\\le 2h+1                                   \\qquad (7) \\\\
+    δ1·a + b &\\le (2h+1)·δ1 + ⌊δ0·h⌋ + w_0        \\qquad (8) \\\\
+    δ1·a + b &\\ge h·δ1 - (d_1-1)/d_1              \\qquad (10) \\\\
+    δ0·a - b &\\ge h·δ0 - ⌊δ0·h⌋ - w_0 - ⌊δ1·h⌋ - (d_0-1)/d_0  \\qquad (12) \\\\
+    a &\\ge 0                                      \\qquad (13)
+
+where ``d_0`` and ``d_1`` are the denominators of ``δ0`` and ``δ1``.  The
+width parameter must satisfy the convexity condition (1):
+
+.. math::
+
+    w_0 \\ge \\max(δ0 + \\{δ0·h\\}, δ1 + \\{δ1·h\\}) - 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import cached_property
+from typing import Iterator
+
+from repro.polyhedral.affine import LinearExpr
+from repro.polyhedral.basic_set import BasicSet
+from repro.polyhedral.constraint import Constraint
+from repro.polyhedral.space import Space
+from repro.tiling.cone import DependenceCone
+
+
+def _floor(value: Fraction) -> int:
+    return math.floor(value)
+
+
+def _fractional_part(value: Fraction) -> Fraction:
+    return value - _floor(value)
+
+
+def minimal_width(delta0: Fraction, delta1: Fraction, height: int) -> int:
+    """Smallest integer ``w0`` satisfying the convexity condition (1)."""
+    bound = max(
+        delta0 + _fractional_part(delta0 * height),
+        delta1 + _fractional_part(delta1 * height),
+    ) - 1
+    return max(0, math.ceil(bound))
+
+
+@dataclass(frozen=True)
+class HexagonalTileShape:
+    """A hexagonal tile of height parameter ``h`` and width parameter ``w0``.
+
+    The actual tile spans ``2h+2`` logical time steps (two half-tiles of
+    ``h+1`` steps) and between ``w0+1`` and ``w0+1+⌊δ0h⌋+⌊δ1h⌋`` points along
+    the space dimension, so the full period along the space dimension covered
+    by one phase-0 plus one phase-1 tile is ``2w0+2+⌊δ0h⌋+⌊δ1h⌋``.
+    """
+
+    cone: DependenceCone
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValueError("tile height h must be non-negative")
+        if self.width < 0:
+            raise ValueError("tile width w0 must be non-negative")
+        needed = minimal_width(self.cone.delta0, self.cone.delta1, self.height)
+        if self.width < needed:
+            raise ValueError(
+                f"width w0={self.width} violates the convexity condition (1); "
+                f"need w0 >= {needed} for h={self.height}, cone={self.cone}"
+            )
+
+    # -- derived quantities -------------------------------------------------------
+
+    @property
+    def delta0(self) -> Fraction:
+        return self.cone.delta0
+
+    @property
+    def delta1(self) -> Fraction:
+        return self.cone.delta1
+
+    @property
+    def floor_delta0_h(self) -> int:
+        """``⌊δ0·h⌋`` — the widening of the tile towards lower ``b``."""
+        return _floor(self.delta0 * self.height)
+
+    @property
+    def floor_delta1_h(self) -> int:
+        """``⌊δ1·h⌋`` — the widening of the tile towards higher ``b``."""
+        return _floor(self.delta1 * self.height)
+
+    @property
+    def time_period(self) -> int:
+        """Logical time steps per (two-phase) tile row: ``2h + 2``."""
+        return 2 * self.height + 2
+
+    @property
+    def space_period(self) -> int:
+        """Space extent per phase-0 + phase-1 tile pair along ``s0``."""
+        return 2 * self.width + 2 + self.floor_delta0_h + self.floor_delta1_h
+
+    @property
+    def drift(self) -> int:
+        """Offset ``⌊δ1·h⌋ - ⌊δ0·h⌋`` applied per time tile (tiles "lean")."""
+        return self.floor_delta1_h - self.floor_delta0_h
+
+    # -- the tile shape -------------------------------------------------------------
+
+    @cached_property
+    def space(self) -> Space:
+        return Space(("a", "b"), name="hexagon")
+
+    @cached_property
+    def constraints(self) -> list[Constraint]:
+        """The constraints (6), (7), (8), (10), (12), (13) on ``(a, b)``."""
+        a = LinearExpr.var("a")
+        b = LinearExpr.var("b")
+        h = self.height
+        w0 = self.width
+        delta0 = self.delta0
+        delta1 = self.delta1
+        d0h = self.floor_delta0_h
+        d1h = self.floor_delta1_h
+        denominator0 = delta0.denominator
+        denominator1 = delta1.denominator
+
+        constraints = [
+            # (6)  δ0·a - b <= (2h+1)·δ0 - ⌊δ0·h⌋
+            Constraint.le(a * delta0 - b, delta0 * (2 * h + 1) - d0h),
+            # (7)  a <= 2h+1
+            Constraint.le(a, 2 * h + 1),
+            # (8)  δ1·a + b <= (2h+1)·δ1 + ⌊δ0·h⌋ + w0
+            Constraint.le(a * delta1 + b, delta1 * (2 * h + 1) + d0h + w0),
+            # (10) δ1·a + b >= h·δ1 - (d1-1)/d1
+            Constraint.ge(
+                a * delta1 + b,
+                delta1 * h - Fraction(denominator1 - 1, denominator1),
+            ),
+            # (12) δ0·a - b >= h·δ0 - ⌊δ0·h⌋ - w0 - ⌊δ1·h⌋ - (d0-1)/d0
+            Constraint.ge(
+                a * delta0 - b,
+                delta0 * h - d0h - w0 - d1h - Fraction(denominator0 - 1, denominator0),
+            ),
+            # (13) a >= 0
+            Constraint.ge(a, 0),
+        ]
+        return constraints
+
+    @cached_property
+    def basic_set(self) -> BasicSet:
+        """The tile as an integer set over ``(a, b)``."""
+        return BasicSet(self.space, self.constraints)
+
+    def contains(self, a: int, b: int) -> bool:
+        """Whether local point ``(a, b)`` belongs to the hexagon."""
+        env = {"a": a, "b": b}
+        return all(c.satisfied(env) for c in self.constraints)
+
+    def points(self) -> Iterator[tuple[int, int]]:
+        """All integer points of the tile, ordered by ``(a, b)``."""
+        for a in range(0, 2 * self.height + 2):
+            for b in self.row_range(a):
+                yield (a, b)
+
+    def row_range(self, a: int) -> range:
+        """Integer ``b`` values of the tile at local time ``a``."""
+        if a < 0 or a > 2 * self.height + 1:
+            return range(0)
+        h = self.height
+        w0 = self.width
+        delta0 = self.delta0
+        delta1 = self.delta1
+        d0h = self.floor_delta0_h
+        d1h = self.floor_delta1_h
+        # From (6):  b >= δ0·a - (2h+1)·δ0 + ⌊δ0·h⌋
+        lower_a = delta0 * a - delta0 * (2 * h + 1) + d0h
+        # From (10): b >= h·δ1 - (d1-1)/d1 - δ1·a
+        lower_b = delta1 * h - Fraction(delta1.denominator - 1, delta1.denominator) - delta1 * a
+        # From (8):  b <= (2h+1)·δ1 + ⌊δ0·h⌋ + w0 - δ1·a
+        upper_a = delta1 * (2 * h + 1) + d0h + w0 - delta1 * a
+        # From (12): b <= δ0·a - h·δ0 + ⌊δ0·h⌋ + w0 + ⌊δ1·h⌋ + (d0-1)/d0
+        upper_b = (
+            delta0 * a
+            - delta0 * h
+            + d0h
+            + w0
+            + d1h
+            + Fraction(delta0.denominator - 1, delta0.denominator)
+        )
+        lower = max(lower_a, lower_b)
+        upper = min(upper_a, upper_b)
+        return range(math.ceil(lower), math.floor(upper) + 1)
+
+    def count(self) -> int:
+        """Number of integer points in the tile.
+
+        Every *full* tile of the tiling contains exactly this many points —
+        the property that distinguishes hexagonal from diamond tiling
+        (Section 2 of the paper).
+        """
+        return sum(len(self.row_range(a)) for a in range(0, 2 * self.height + 2))
+
+    def row_width(self, a: int) -> int:
+        """Number of points of the tile at local time ``a``."""
+        return len(self.row_range(a))
+
+    def peak_width(self) -> int:
+        """Width of the narrowest row (the adjustable "peak" of Section 2)."""
+        return min(self.row_width(a) for a in range(0, 2 * self.height + 2))
+
+    def max_width(self) -> int:
+        """Width of the widest row of the tile."""
+        return max(self.row_width(a) for a in range(0, 2 * self.height + 2))
+
+    def bounding_box(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        """Bounding box ``((a_min, a_max), (b_min, b_max))`` of the tile."""
+        b_values = [b for a in range(0, 2 * self.height + 2) for b in self.row_range(a)]
+        return (
+            (0, 2 * self.height + 1),
+            (min(b_values), max(b_values)),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"HexagonalTileShape(h={self.height}, w0={self.width}, "
+            f"delta0={self.delta0}, delta1={self.delta1}, points={self.count()})"
+        )
+
+    # -- ASCII rendering (used by examples and the Figure 4 bench) -----------------
+
+    def render(self) -> str:
+        """Render the tile as ASCII art (rows = time, columns = space)."""
+        (_, _), (b_min, b_max) = self.bounding_box()
+        lines = []
+        for a in range(2 * self.height + 1, -1, -1):
+            row = []
+            row_points = set(self.row_range(a))
+            for b in range(b_min, b_max + 1):
+                row.append("#" if b in row_points else ".")
+            lines.append(f"a={a:2d} " + "".join(row))
+        return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Tile size selection based on the load-to-compute ratio (Section 3.7).
+
+The model follows the paper: for a generic (non-boundary) tile it computes
+
+* the number of statement instances executed by the tile, and
+* the number of values loaded from global memory by the tile,
+
+both as exact functions of the tile size parameters ``h, w_0, ..., w_n``, and
+then picks the parameters with the smallest load-to-compute ratio among those
+whose shared-memory footprint fits the hardware bound.  Loads are modelled as
+the size of the rectangular shared-memory box PPCG allocates for the tile
+(Section 4.2); with inter-tile reuse enabled (Section 4.2.2) only the part of
+the box that was not already loaded by the preceding tile along the innermost
+(classically tiled, sequentially executed) dimension is counted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.model.preprocess import CanonicalForm
+from repro.tiling.cone import DependenceCone
+from repro.tiling.hexagon import HexagonalTileShape, minimal_width
+from repro.tiling.hybrid import TileSizes
+
+
+@dataclass(frozen=True)
+class TileCostEstimate:
+    """Cost figures of one tile size choice."""
+
+    sizes: TileSizes
+    iterations: int
+    loads: int
+    stores: int
+    shared_memory_bytes: int
+
+    @property
+    def load_to_compute(self) -> float:
+        """Loads per executed iteration — the figure of merit of Section 3.7."""
+        if self.iterations == 0:
+            return float("inf")
+        return self.loads / self.iterations
+
+    def __str__(self) -> str:
+        return (
+            f"TileCostEstimate({self.sizes}, iterations={self.iterations}, "
+            f"loads={self.loads}, shared={self.shared_memory_bytes}B, "
+            f"ratio={self.load_to_compute:.3f})"
+        )
+
+
+class TileSizeModel:
+    """Analytic cost model of a hybrid tile for one stencil program."""
+
+    def __init__(self, canonical: CanonicalForm, element_size: int = 4) -> None:
+        self.canonical = canonical
+        self.element_size = element_size
+        self.cone = DependenceCone.from_distance_vectors(
+            canonical.distance_vectors, dim_index=0
+        )
+        self._space_bounds = [
+            canonical.space_distance_bounds(index)
+            for index in range(len(canonical.space_dims))
+        ]
+        self._read_radii = self._compute_read_radii()
+
+    def _compute_read_radii(self) -> dict[str, list[tuple[int, int]]]:
+        """Per-field, per-dimension (negative, positive) read radii."""
+        radii: dict[str, list[tuple[int, int]]] = {}
+        for statement in self.canonical.program.statements:
+            for read in statement.reads:
+                entry = radii.setdefault(
+                    read.field, [(0, 0)] * self.canonical.program.ndim
+                )
+                for axis, offset in enumerate(read.offsets):
+                    low, high = entry[axis]
+                    entry[axis] = (min(low, offset), max(high, offset))
+        return radii
+
+    # -- per-tile quantities ---------------------------------------------------------------
+
+    def shape(self, sizes: TileSizes) -> HexagonalTileShape:
+        return HexagonalTileShape(self.cone, sizes.height, sizes.w0)
+
+    def iterations(self, sizes: TileSizes) -> int:
+        """Statement instances per full tile (matches the formula of §3.7)."""
+        total = self.shape(sizes).count()
+        for width in sizes.widths[1:]:
+            total *= width
+        return total
+
+    def tile_box_extents(self, sizes: TileSizes) -> list[int]:
+        """Data-space extent of the tile's footprint box along each space dim."""
+        shape = self.shape(sizes)
+        (_, _), (b_min, b_max) = shape.bounding_box()
+        extents = [b_max - b_min + 1]
+        for index, width in enumerate(sizes.widths[1:], start=1):
+            _, delta1 = self._space_bounds[index]
+            skew_span = int(delta1 * (shape.time_period - 1))
+            extents.append(width + skew_span)
+        return extents
+
+    def footprint_elements(self, sizes: TileSizes, inter_tile_reuse: bool = False) -> int:
+        """Array elements the tile must read from global memory.
+
+        The footprint is the union over all fields of the rectangular box
+        covering the tile's accesses to that field (the PPCG shared-memory
+        allocation strategy).  With ``inter_tile_reuse`` the innermost
+        dimension only contributes the non-overlapping part ``w_inner``.
+        """
+        extents = self.tile_box_extents(sizes)
+        total = 0
+        for field, radii in self._read_radii.items():
+            field_total = 1
+            for axis, extent in enumerate(extents):
+                low, high = radii[axis]
+                span = extent + (high - low)
+                if inter_tile_reuse and axis == len(extents) - 1 and len(extents) > 1:
+                    span = sizes.widths[axis]
+                field_total *= span
+            total += field_total
+        return total
+
+    def stores_per_tile(self, sizes: TileSizes) -> int:
+        """Values written back to global memory per tile (one per iteration)."""
+        return self.iterations(sizes)
+
+    def shared_memory_bytes(self, sizes: TileSizes) -> int:
+        """Shared memory needed to stage the tile's footprint boxes."""
+        extents = self.tile_box_extents(sizes)
+        total = 0
+        for field, radii in self._read_radii.items():
+            field_total = 1
+            for axis, extent in enumerate(extents):
+                low, high = radii[axis]
+                field_total *= extent + (high - low)
+            total += field_total
+        return total * self.element_size
+
+    def estimate(self, sizes: TileSizes, inter_tile_reuse: bool = True) -> TileCostEstimate:
+        """Full cost estimate for one tile size choice."""
+        return TileCostEstimate(
+            sizes=sizes,
+            iterations=self.iterations(sizes),
+            loads=self.footprint_elements(sizes, inter_tile_reuse=inter_tile_reuse),
+            stores=self.stores_per_tile(sizes),
+            shared_memory_bytes=self.shared_memory_bytes(sizes),
+        )
+
+    # -- the closed-form of Section 3.7 --------------------------------------------------------
+
+    def closed_form_iterations_3d(self, sizes: TileSizes) -> int:
+        """``2·(1 + 2h + h² + w0·(h+1))·w1·w2`` — only valid for δ0 = δ1 = 1.
+
+        Exposed so the tests can check the enumerative count against the
+        closed form quoted in the paper.
+        """
+        if self.cone.delta0 != 1 or self.cone.delta1 != 1:
+            raise ValueError("the closed form of §3.7 assumes δ0 = δ1 = 1")
+        if len(sizes.widths) != 3:
+            raise ValueError("the closed form of §3.7 is for 3D stencils")
+        h = sizes.height
+        w0 = sizes.w0
+        return 2 * (1 + 2 * h + h * h + w0 * (h + 1)) * sizes.widths[1] * sizes.widths[2]
+
+
+def select_tile_sizes(
+    canonical: CanonicalForm,
+    shared_memory_limit: int = 48 * 1024,
+    warp_size: int = 32,
+    height_candidates: Iterable[int] | None = None,
+    width_candidates: Iterable[int] | None = None,
+    inner_width_candidates: Iterable[int] | None = None,
+    inter_tile_reuse: bool = True,
+) -> TileCostEstimate:
+    """Search the tile-size space and return the best estimate (Section 3.7).
+
+    Constraints applied during the search:
+
+    * ``h + 1`` must be a multiple of the number of statements;
+    * ``w_0`` must satisfy the convexity condition (1);
+    * the innermost tile width must be a multiple of the warp size so full
+      warps execute, accesses are stride-one and loads are cache-line aligned
+      (Section 2);
+    * the shared-memory footprint must stay below ``shared_memory_limit``.
+    """
+    model = TileSizeModel(canonical)
+    k = canonical.num_statements
+    ndim = len(canonical.space_dims)
+
+    if height_candidates is None:
+        height_candidates = [h for h in range(0, 17) if (h + 1) % k == 0]
+    if width_candidates is None:
+        width_candidates = [1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32]
+    if inner_width_candidates is None:
+        inner_width_candidates = [warp_size, 2 * warp_size, 4 * warp_size]
+
+    heights = list(height_candidates)
+    widths = list(width_candidates)
+    inner_widths = list(inner_width_candidates)
+
+    best: TileCostEstimate | None = None
+    for height in heights:
+        min_w0 = minimal_width(model.cone.delta0, model.cone.delta1, height)
+        if ndim == 1:
+            candidate_tuples = [(max(w, min_w0),) for w in widths]
+        else:
+            middle_dims = ndim - 2
+            middle_choices = (
+                itertools.product(widths, repeat=middle_dims) if middle_dims else [()]
+            )
+            candidate_tuples = [
+                (max(w0, min_w0), *middle, inner)
+                for w0 in widths
+                for middle in middle_choices
+                for inner in inner_widths
+            ]
+        for candidate in candidate_tuples:
+            sizes = TileSizes(height, tuple(candidate))
+            estimate = model.estimate(sizes, inter_tile_reuse=inter_tile_reuse)
+            if estimate.shared_memory_bytes > shared_memory_limit:
+                continue
+            if best is None or _better(estimate, best):
+                best = estimate
+    if best is None:
+        raise ValueError(
+            "no tile size satisfies the shared-memory limit; "
+            "decrease the tile widths or increase the limit"
+        )
+    return best
+
+
+def _better(candidate: TileCostEstimate, incumbent: TileCostEstimate) -> bool:
+    """Prefer a lower load-to-compute ratio; break ties with fewer iterations."""
+    if candidate.load_to_compute != incumbent.load_to_compute:
+        return candidate.load_to_compute < incumbent.load_to_compute
+    return candidate.iterations > incumbent.iterations

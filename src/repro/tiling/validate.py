@@ -1,0 +1,174 @@
+"""Validation of hybrid tilings: coverage, legality and tile uniformity.
+
+These checks are the executable counterpart of the correctness argument of
+Section 3.3.3 of the paper.  They work by exhaustive enumeration and are
+therefore meant for the small problem instances used in tests; the point is
+that the *same* schedule construction code is used for the small validated
+instances and for the full-size benchmark configurations.
+
+Three properties are checked:
+
+* **coverage / uniqueness** — every statement instance is claimed by exactly
+  one phase, i.e. the blue and green hexagons partition the iteration space;
+* **legality** — for every dependence, the source instance is executed before
+  the sink instance under the GPU execution model (sequential ``T`` and
+  phases, parallel ``S0`` blocks, sequential ``S1..Sn`` and ``t'`` loops with
+  a barrier after each ``t'``, parallel threads inside a barrier step);
+* **uniformity** — all full (non-boundary) tiles contain exactly the same
+  number of statement instances, the property that separates hexagonal from
+  diamond tiling (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.model.preprocess import CanonicalForm
+from repro.tiling.hybrid import HybridTiling, SchedulePoint
+
+
+class ScheduleValidationError(AssertionError):
+    """A coverage, legality or uniformity violation was detected."""
+
+
+@dataclass
+class ValidationReport:
+    """Summary of a full validation run."""
+
+    instances_checked: int = 0
+    dependences_checked: int = 0
+    full_tiles: int = 0
+    partial_tiles: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violations"
+        return (
+            f"ValidationReport({status}, instances={self.instances_checked}, "
+            f"dependences={self.dependences_checked}, "
+            f"full_tiles={self.full_tiles}, partial_tiles={self.partial_tiles})"
+        )
+
+
+def check_coverage(tiling: HybridTiling) -> int:
+    """Verify that every instance belongs to exactly one phase.
+
+    Returns the number of instances checked; raises
+    :class:`ScheduleValidationError` on the first violation.
+    """
+    checked = 0
+    for _, canonical_point in tiling.canonical.instances():
+        l, s0 = canonical_point[0], canonical_point[1]
+        try:
+            tiling.hex_schedule.assign(l, s0, check_unique=True)
+        except ValueError as error:
+            raise ScheduleValidationError(str(error)) from error
+        checked += 1
+    return checked
+
+
+def check_legality(tiling: HybridTiling) -> int:
+    """Verify that every dependence is respected by the hybrid schedule.
+
+    Returns the number of (dependence, instance) pairs checked.
+    """
+    canonical = tiling.canonical
+    domains = {
+        index: statement.domain
+        for index, statement in enumerate(canonical.scop.statements)
+    }
+    name_to_index = {
+        statement.name: index
+        for index, statement in enumerate(canonical.scop.statements)
+    }
+    checked = 0
+    for _, sink_point in canonical.instances():
+        sink = tiling.assign_canonical(sink_point)
+        for dependence in canonical.dependences:
+            if name_to_index[dependence.sink] != sink.statement_index:
+                continue
+            source_point = tuple(
+                coordinate - distance
+                for coordinate, distance in zip(sink_point, dependence.distance)
+            )
+            source_index = name_to_index[dependence.source]
+            if source_point[0] % canonical.num_statements != source_index:
+                # The dependence distance moves to a logical time slot that is
+                # not owned by the source statement: no instance there.
+                continue
+            source_t = source_point[0] // canonical.num_statements
+            source_instance = (source_t, *source_point[1:])
+            if not domains[source_index].contains(source_instance):
+                continue
+            source = tiling.assign_canonical(source_point)
+            _check_pair_ordering(source, sink, dependence)
+            checked += 1
+    return checked
+
+
+def _check_pair_ordering(source: SchedulePoint, sink: SchedulePoint, dependence) -> None:
+    """Raise unless ``source`` executes before ``sink`` on the GPU."""
+    source_outer = (source.tile.time_tile, int(source.tile.phase))
+    sink_outer = (sink.tile.time_tile, int(sink.tile.phase))
+    if source_outer < sink_outer:
+        return
+    if source_outer > sink_outer:
+        raise ScheduleValidationError(
+            f"dependence {dependence} violated: source tile {source.tile} "
+            f"executes after sink tile {sink.tile}"
+        )
+    # Same time tile and phase: blocks run in parallel, so the two instances
+    # must live in the same hexagonal (S0) tile.
+    if source.tile.space_tiles[0] != sink.tile.space_tiles[0]:
+        raise ScheduleValidationError(
+            f"dependence {dependence} crosses concurrent blocks: "
+            f"{source.tile} -> {sink.tile}"
+        )
+    source_inner = (tuple(source.tile.space_tiles[1:]), source.local_time)
+    sink_inner = (tuple(sink.tile.space_tiles[1:]), sink.local_time)
+    if source_inner >= sink_inner:
+        raise ScheduleValidationError(
+            f"dependence {dependence} violated inside tile {sink.tile}: "
+            f"source inner coordinates {source_inner} do not precede "
+            f"{sink_inner}"
+        )
+
+
+def check_tile_uniformity(tiling: HybridTiling) -> tuple[int, int]:
+    """Check that all full tiles have the same iteration count.
+
+    Returns ``(full_tiles, partial_tiles)``.  A tile is *full* when its point
+    count equals :meth:`HybridTiling.iterations_per_full_tile`; partial tiles
+    (at the domain boundary) may contain fewer points but never more.
+    """
+    expected = tiling.iterations_per_full_tile()
+    full = 0
+    partial = 0
+    for tile, points in tiling.group_instances_by_tile().items():
+        if len(points) > expected:
+            raise ScheduleValidationError(
+                f"tile {tile} contains {len(points)} points, more than the "
+                f"uniform full-tile count {expected}"
+            )
+        if len(points) == expected:
+            full += 1
+        else:
+            partial += 1
+    return full, partial
+
+
+def validate_hybrid_tiling(tiling: HybridTiling) -> ValidationReport:
+    """Run all validation passes and return a report.
+
+    Raises :class:`ScheduleValidationError` as soon as a violation is found.
+    """
+    report = ValidationReport()
+    report.instances_checked = check_coverage(tiling)
+    report.dependences_checked = check_legality(tiling)
+    report.full_tiles, report.partial_tiles = check_tile_uniformity(tiling)
+    return report

@@ -1,0 +1,105 @@
+"""Tests for the baseline compiler models (PPCG, Par4All, Overtile, Patus)."""
+
+import pytest
+
+from repro.baselines import (
+    OvertileBaseline,
+    Par4AllBaseline,
+    PPCGBaseline,
+    PatusBaseline,
+    all_baselines,
+)
+from repro.gpu.device import GTX470, NVS5200M
+from repro.stencils import get_stencil
+
+
+@pytest.fixture(scope="module")
+def heat2d():
+    return get_stencil("heat_2d")
+
+
+@pytest.fixture(scope="module")
+def heat3d():
+    return get_stencil("heat_3d")
+
+
+def test_all_baselines_registry():
+    names = [b.name for b in all_baselines()]
+    assert names == ["ppcg", "par4all", "overtile", "patus"]
+
+
+def test_ppcg_supports_everything(heat2d, heat3d):
+    baseline = PPCGBaseline()
+    for program in (heat2d, heat3d, get_stencil("fdtd_2d")):
+        result = baseline.compile(program)
+        assert result.supported
+        report = result.performance(GTX470)
+        assert report is not None and report.gstencils_per_second > 0
+        assert result.counters.kernel_launches == program.time_steps * program.num_statements
+
+
+def test_ppcg_streams_the_grid_every_time_step(heat2d):
+    result = PPCGBaseline().compile(heat2d)
+    grid_bytes = heat2d.grid_points() * 4
+    # No time tiling: at least one full read of the grid per time step.
+    assert result.counters.transferred_global_bytes >= grid_bytes * heat2d.time_steps
+
+
+def test_par4all_rejects_fdtd():
+    result = Par4AllBaseline().compile(get_stencil("fdtd_2d"))
+    assert not result.supported
+    assert "invalid CUDA" in (result.failure_reason or "").lower() or "invalid" in (
+        result.failure_reason or ""
+    )
+    assert result.performance(GTX470) is None
+
+
+def test_par4all_supports_single_statement_kernels(heat2d):
+    result = Par4AllBaseline().compile(heat2d)
+    assert result.supported
+    assert result.counters.gld_instructions == heat2d.stencil_updates() * 9
+
+
+def test_overtile_beats_ppcg_on_2d_kernels(heat2d):
+    """The Table 1 relationship: Overtile clearly outperforms baseline PPCG."""
+    overtile = OvertileBaseline().compile(heat2d)
+    ppcg = PPCGBaseline().compile(heat2d)
+    assert overtile.supported
+    assert (
+        overtile.performance(GTX470).gstencils_per_second
+        > 1.3 * ppcg.performance(GTX470).gstencils_per_second
+    )
+    # The auto-tuner explored the configuration space and reports its choice.
+    assert "edge=" in overtile.strategy
+
+
+def test_overtile_falls_back_for_3d_kernels(heat3d):
+    """The paper's observation: Overtile cannot time-tile the 3D kernels well."""
+    result = OvertileBaseline().compile(heat3d)
+    assert result.supported
+    assert "time=1" in result.strategy or "time=2" in result.strategy or "time=3" in result.strategy
+    # Redundant computation stays bounded.
+    assert result.counters.redundant_updates < result.counters.stencil_updates
+
+
+def test_overtile_redundancy_accounted(heat2d):
+    result = OvertileBaseline().compile(heat2d)
+    assert result.counters.flops >= heat2d.flops_total()
+    assert result.launch.useful_fraction <= 1.0
+
+
+def test_patus_support_matrix(heat3d):
+    baseline = PatusBaseline()
+    assert baseline.compile(heat3d).supported
+    assert baseline.compile(get_stencil("laplacian_3d")).supported
+    assert not baseline.compile(get_stencil("heat_2d")).supported
+    assert not baseline.compile(get_stencil("fdtd_2d")).supported
+
+
+def test_baselines_scale_with_device(heat2d):
+    """Every supported baseline runs faster on the GTX 470 than on the NVS 5200M."""
+    for baseline in (PPCGBaseline(), Par4AllBaseline(), OvertileBaseline()):
+        result = baseline.compile(heat2d)
+        fast = result.performance(GTX470)
+        slow = result.performance(NVS5200M)
+        assert fast.gstencils_per_second > slow.gstencils_per_second

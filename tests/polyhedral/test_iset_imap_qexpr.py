@@ -1,0 +1,174 @@
+"""Unit tests for set unions, affine maps and quasi-affine expressions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.polyhedral.affine import LinearExpr
+from repro.polyhedral.basic_set import BasicSet
+from repro.polyhedral.imap import AffineMap
+from repro.polyhedral.iset import ISet
+from repro.polyhedral.quasi_affine import (
+    QFloorDiv,
+    QMod,
+    affine_combination,
+    floor_of_rational_affine,
+    mod_of_rational_affine,
+    qconst,
+    qvar,
+)
+from repro.polyhedral.space import Space
+
+
+# -- ISet -----------------------------------------------------------------------------
+
+
+def test_union_and_membership():
+    space = Space(["x"])
+    a = BasicSet.from_bounds(space, {"x": (0, 2)})
+    b = BasicSet.from_bounds(space, {"x": (5, 6)})
+    union = ISet.from_basic(a).union(b)
+    assert union.contains((1,)) and union.contains((6,))
+    assert not union.contains((4,))
+    assert union.count() == 5
+
+
+def test_union_count_deduplicates_overlap():
+    space = Space(["x"])
+    a = BasicSet.from_bounds(space, {"x": (0, 4)})
+    b = BasicSet.from_bounds(space, {"x": (3, 6)})
+    assert ISet.from_basic(a).union(b).count() == 7
+
+
+def test_subtraction_box_minus_box():
+    space = Space(["x", "y"])
+    outer = ISet.from_basic(BasicSet.box(space, [0, 0], [5, 5]))
+    inner = BasicSet.box(space, [2, 2], [3, 3])
+    difference = outer.subtract(inner)
+    assert difference.count() == 36 - 4
+    assert not difference.contains((2, 2))
+    assert difference.contains((0, 0))
+
+
+def test_subtraction_disjoint_leaves_set_unchanged():
+    space = Space(["x"])
+    a = ISet.from_basic(BasicSet.from_bounds(space, {"x": (0, 3)}))
+    b = BasicSet.from_bounds(space, {"x": (10, 12)})
+    assert a.subtract(b).count() == 4
+
+
+def test_intersection_of_unions():
+    space = Space(["x"])
+    a = ISet.from_basic(BasicSet.from_bounds(space, {"x": (0, 4)})).union(
+        BasicSet.from_bounds(space, {"x": (10, 14)})
+    )
+    b = ISet.from_basic(BasicSet.from_bounds(space, {"x": (3, 11)}))
+    assert sorted(p[0] for p in a.intersect(b).points()) == [3, 4, 10, 11]
+
+
+def test_empty_union():
+    space = Space(["x"])
+    assert ISet.empty(space).is_empty()
+    assert ISet.universe(space).contains((42,))
+
+
+# -- AffineMap -------------------------------------------------------------------------
+
+
+def test_identity_and_offsets():
+    space = Space(["i", "j"])
+    identity = AffineMap.identity(space)
+    assert identity.apply_int_point((3, 4)) == (3, 4)
+    shifted = AffineMap.from_offsets(space, Space(["a", "b"]), ["i", "j"], [1, -1])
+    assert shifted.apply_int_point((3, 4)) == (4, 3)
+
+
+def test_compose():
+    space = Space(["i"])
+    plus_one = AffineMap(space, space, [LinearExpr.var("i") + 1])
+    times_two = AffineMap(space, space, [LinearExpr.var("i") * 2])
+    composed = times_two.compose(plus_one)   # 2 * (i + 1)
+    assert composed.apply_int_point((3,)) == (8,)
+
+
+def test_apply_set_image():
+    space = Space(["i"])
+    target = Space(["a"])
+    shift = AffineMap(space, target, [LinearExpr.var("i") + 5])
+    domain = BasicSet.from_bounds(space, {"i": (0, 3)})
+    image = shift.apply_set(domain)
+    assert sorted(p[0] for p in image.points()) == [5, 6, 7, 8]
+
+
+def test_image_box_interval_arithmetic():
+    space = Space(["i", "j"])
+    access = AffineMap.from_offsets(space, Space(["a", "b"]), ["i", "j"], [-1, 2])
+    box = access.image_box({"i": (1, 4), "j": (0, 3)})
+    assert box == [(0, 3), (2, 5)]
+
+
+def test_non_integral_image_raises():
+    space = Space(["i"])
+    half = AffineMap(space, Space(["a"]), [LinearExpr.var("i") * Fraction(1, 2)])
+    with pytest.raises(ValueError):
+        half.apply_int_point((3,))
+
+
+def test_arity_mismatch_rejected():
+    space = Space(["i"])
+    with pytest.raises(ValueError):
+        AffineMap(space, Space(["a", "b"]), [LinearExpr.var("i")])
+
+
+# -- quasi-affine expressions -----------------------------------------------------------
+
+
+def test_floordiv_matches_python_semantics():
+    expr = QFloorDiv(qvar("t") + qconst(3), 6)
+    for t in range(-20, 20):
+        assert expr.evaluate({"t": t}) == (t + 3) // 6
+
+
+def test_mod_is_always_non_negative():
+    expr = QMod(qvar("t"), 5)
+    for t in range(-20, 20):
+        value = expr.evaluate({"t": t})
+        assert 0 <= value < 5
+        assert value == t % 5
+
+
+def test_operator_sugar():
+    expr = (qvar("x") * 3 - 2) % 7
+    assert expr.evaluate({"x": 4}) == 3
+
+
+def test_to_c_contains_floord_and_wrap():
+    expr = QFloorDiv(qvar("t"), 4)
+    assert "floord" in expr.to_c()
+    expr = QMod(qvar("t"), 4)
+    assert "%" in expr.to_c()
+
+
+def test_affine_combination_scaling():
+    expr, scale = affine_combination({"s": Fraction(1, 2), "u": 1}, 0)
+    assert scale == 2
+    assert expr.evaluate({"s": 3, "u": 5}) == 2 * (Fraction(3, 2) + 5)
+
+
+def test_floor_of_rational_affine():
+    expr = floor_of_rational_affine({"s": 1, "u": Fraction(1, 2)}, 0, 3)
+    for s in range(-5, 6):
+        for u in range(0, 6):
+            expected = (2 * s + u) // 6
+            assert expr.evaluate({"s": s, "u": u}) == expected
+
+
+def test_mod_of_rational_affine_preserves_period():
+    expr = mod_of_rational_affine({"s": 1}, 0, 4)
+    assert expr.evaluate({"s": 9}) == 1
+    assert expr.evaluate({"s": -1}) == 3
+
+
+def test_variables_tracking():
+    expr = QFloorDiv(qvar("a") + qvar("b"), 2)
+    assert expr.variables() == {"a", "b"}

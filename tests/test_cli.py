@@ -1,0 +1,42 @@
+"""Tests for the hexcc command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "heat_3d" in output and "fdtd_2d" in output
+
+
+def test_validate_command_small_instance(capsys):
+    code = main(["validate", "jacobi_2d", "--size", "14", "--steps", "6",
+                 "--h", "1", "--widths", "2,4"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "matches the NumPy reference" in output
+
+
+def test_compile_command(capsys):
+    code = main(["compile", "heat_3d", "--h", "2", "--widths", "7,10,32"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "GStencils/s" in output
+    assert "hybrid tiling of heat_3d" in output
+
+
+def test_table_command_table3(capsys):
+    assert main(["table", "3"]) == 0
+    assert "laplacian_2d" in capsys.readouterr().out
+
+
+def test_table_command_unknown_number(capsys):
+    assert main(["table", "9"]) == 1
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

@@ -1,0 +1,111 @@
+"""End-to-end integration tests of the hybrid compiler pipeline."""
+
+import pytest
+
+from repro.compiler import HybridCompiler
+from repro.gpu.device import GTX470, NVS5200M
+from repro.pipeline import OptimizationConfig, table4_configurations
+from repro.stencils import get_stencil, paper_benchmarks
+from repro.tiling.hybrid import TileSizes
+
+
+def test_compile_validate_simulate_jacobi():
+    compiler = HybridCompiler()
+    program = get_stencil("jacobi_2d", sizes=(20, 18), steps=10)
+    compiled = compiler.compile(program, tile_sizes=TileSizes.of(2, 3, 6))
+    assert compiled.validate().ok
+    result = compiled.simulate_and_check()
+    assert result.tiles_executed > 0
+    assert "hybrid tiling" in compiled.describe()
+    assert "__global__" in compiled.cuda_source
+
+
+def test_compile_with_automatic_tile_size_selection():
+    compiler = HybridCompiler()
+    program = get_stencil("heat_2d", sizes=(256, 256), steps=16)
+    compiled = compiler.compile(program)
+    assert compiled.tile_cost is not None
+    assert compiled.tiling.sizes == compiled.tile_cost.sizes
+    assert compiled.tile_cost.shared_memory_bytes <= GTX470.shared_memory_per_sm
+
+
+@pytest.mark.parametrize("name", paper_benchmarks())
+def test_all_paper_benchmarks_compile_at_small_scale(name):
+    """Every benchmark compiles, validates and simulates at a reduced size."""
+    compiler = HybridCompiler()
+    if name.endswith("3d"):
+        program = get_stencil(name, sizes=(10, 9, 8), steps=4)
+        sizes = TileSizes.of(1, 2, 3, 4)
+    elif name == "fdtd_2d":
+        program = get_stencil(name, sizes=(14, 12), steps=6)
+        sizes = TileSizes.of(2, 2, 5)
+    else:
+        program = get_stencil(name, sizes=(16, 14), steps=6)
+        sizes = TileSizes.of(2, 2, 5)
+    compiled = compiler.compile(program, tile_sizes=sizes)
+    assert compiled.validate().ok
+    compiled.simulate_and_check()
+
+
+def test_performance_estimation_runs_for_all_configurations():
+    compiler = HybridCompiler()
+    program = get_stencil("heat_3d")
+    previous_gflops = None
+    for label, config in table4_configurations().items():
+        compiled = compiler.compile(
+            program, tile_sizes=TileSizes.of(2, 7, 10, 32), config=config
+        )
+        report = compiled.estimate_performance()
+        assert report.gflops > 0, label
+        assert report.total_time_s > 0
+        previous_gflops = report.gflops
+
+
+def test_best_configuration_beats_worst_on_bandwidth_starved_device():
+    """Configuration (f) must beat (b) on the NVS 5200M, as in Table 4."""
+    compiler = HybridCompiler(NVS5200M)
+    program = get_stencil("heat_3d")
+    sizes = TileSizes.of(2, 7, 10, 32)
+    baseline = compiler.compile(program, tile_sizes=sizes, config=OptimizationConfig.config_b())
+    best = compiler.compile(program, tile_sizes=sizes, config=OptimizationConfig.config_f())
+    assert (
+        best.estimate_performance(NVS5200M).gflops
+        > baseline.estimate_performance(NVS5200M).gflops
+    )
+
+
+def test_gtx470_faster_than_nvs5200():
+    compiler = HybridCompiler()
+    program = get_stencil("heat_2d")
+    compiled = compiler.compile(program, tile_sizes=TileSizes.of(3, 4, 64))
+    fast = compiled.estimate_performance(GTX470)
+    slow = compiled.estimate_performance(NVS5200M)
+    assert fast.gstencils_per_second > 2 * slow.gstencils_per_second
+
+
+def test_execution_estimate_counters_are_consistent():
+    compiler = HybridCompiler()
+    program = get_stencil("heat_3d")
+    compiled = compiler.compile(program, tile_sizes=TileSizes.of(2, 7, 10, 32))
+    estimate = compiled.execution_estimate()
+    counters = estimate.counters
+    assert counters.stencil_updates == program.stencil_updates()
+    assert counters.flops == program.flops_total()
+    assert counters.gld_efficiency <= 1.0
+    assert counters.kernel_launches == 2 * estimate.tile_counts.time_tiles
+    assert estimate.tile_counts.total_tiles > 0
+
+
+def test_analytic_and_simulated_counters_agree_on_small_problem():
+    """Cross-check the analytic profiler against the exact simulator counts."""
+    compiler = HybridCompiler()
+    program = get_stencil("jacobi_2d", sizes=(40, 38), steps=24)
+    compiled = compiler.compile(program, tile_sizes=TileSizes.of(3, 3, 8))
+    analytic = compiled.execution_estimate().counters
+    simulated = compiled.simulate().counters
+    assert analytic.stencil_updates == simulated.stencil_updates
+    assert analytic.flops == simulated.flops
+    # The analytic global-load count over-approximates boundary tiles but must
+    # stay within a factor of two of the exact count.
+    ratio = analytic.gld_instructions / simulated.gld_instructions
+    assert 0.5 < ratio < 3.0

@@ -1,0 +1,186 @@
+"""Unit tests for classical tiling, the hybrid combination and its validation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model.preprocess import canonicalize
+from repro.stencils import get_stencil
+from repro.tiling.classical import ClassicalTiling
+from repro.tiling.hex_schedule import Phase
+from repro.tiling.hybrid import HybridTiling, TileSizes
+from repro.tiling.validate import (
+    ScheduleValidationError,
+    check_coverage,
+    check_legality,
+    check_tile_uniformity,
+    validate_hybrid_tiling,
+)
+
+
+# -- classical tiling -----------------------------------------------------------------
+
+
+def test_classical_tile_index_and_local_coordinate():
+    tiling = ClassicalTiling("s1", Fraction(1), 4, 6)
+    for s in range(-10, 10):
+        for u in range(0, 6):
+            index = tiling.tile_index(s, u)
+            local = tiling.local_coordinate(s, u)
+            assert 0 <= local < 4
+            assert index * 4 + local == s + u
+
+
+def test_classical_rational_slope_is_exact():
+    tiling = ClassicalTiling("s1", Fraction(1, 2), 4, 6)
+    for s in range(-8, 8):
+        for u in range(0, 6):
+            index = tiling.tile_index(s, u)
+            assert index == (2 * s + u) // 8
+
+
+def test_classical_skew_respects_dependences():
+    """sink tile index >= source tile index for every in-cone dependence."""
+    tiling = ClassicalTiling("s1", Fraction(1), 5, 8)
+    for s in range(-10, 10):
+        for u in range(0, 7):
+            source = tiling.tile_index(s, u)
+            for dl in (1, 2):
+                for ds in range(-dl, dl + 1):
+                    sink = tiling.tile_index(s + ds, u + dl)
+                    assert sink >= source
+
+
+def test_classical_expressions_match_evaluation():
+    tiling = ClassicalTiling("s1", Fraction(1), 4, 6)
+    index_expr = tiling.tile_index_expr()
+    local_expr = tiling.local_coordinate_expr()
+    for s in range(-6, 6):
+        for u in range(0, 6):
+            env = {"s1": s, "u": u}
+            assert index_expr.evaluate(env) == tiling.tile_index(s, u)
+            assert local_expr.evaluate(env) == tiling.local_coordinate(s, u)
+
+
+def test_classical_invalid_parameters():
+    with pytest.raises(ValueError):
+        ClassicalTiling("s1", Fraction(1), 0, 6)
+    with pytest.raises(ValueError):
+        ClassicalTiling("s1", Fraction(-1), 4, 6)
+
+
+# -- hybrid tiling --------------------------------------------------------------------
+
+
+def test_tile_sizes_validation():
+    with pytest.raises(ValueError):
+        TileSizes(-1, (3,))
+    sizes = TileSizes.of(2, 3, 4)
+    assert sizes.w0 == 3 and sizes.widths == (3, 4)
+
+
+def test_hybrid_requires_matching_width_count(jacobi_canonical):
+    with pytest.raises(ValueError):
+        HybridTiling(jacobi_canonical, TileSizes.of(2, 3))
+
+
+def test_hybrid_statement_alignment_enforced():
+    program = get_stencil("fdtd_2d", sizes=(12, 12), steps=4)
+    canonical = canonicalize(program)
+    with pytest.raises(ValueError):
+        HybridTiling(canonical, TileSizes.of(3, 2, 4))   # h+1 = 4 not multiple of 3
+    HybridTiling(canonical, TileSizes.of(2, 2, 4))        # h+1 = 3 is fine
+
+
+def test_hybrid_full_validation_jacobi(jacobi_tiling):
+    report = validate_hybrid_tiling(jacobi_tiling)
+    assert report.ok
+    assert report.instances_checked == jacobi_tiling.canonical.program.stencil_updates()
+    assert report.dependences_checked > 0
+
+
+def test_hybrid_full_validation_heat_3d(small_heat_3d):
+    canonical = canonicalize(small_heat_3d)
+    tiling = HybridTiling(canonical, TileSizes.of(1, 2, 4, 5))
+    report = validate_hybrid_tiling(tiling)
+    assert report.ok
+
+
+def test_hybrid_full_validation_multi_statement(small_fdtd_2d):
+    canonical = canonicalize(small_fdtd_2d)
+    tiling = HybridTiling(canonical, TileSizes.of(2, 2, 5))
+    assert validate_hybrid_tiling(tiling).ok
+
+
+def test_hybrid_schedule_point_round_trip(jacobi_tiling):
+    point = jacobi_tiling.assign_instance(0, 3, (5, 7))
+    assert point.canonical_point == (3, 5, 7)
+    assert point.statement_index == 0
+    assert len(point.tile.space_tiles) == 2
+    assert len(point.full_tuple()) == 2 + 2 + 1 + 2
+
+
+def test_iterations_per_full_tile_closed_form():
+    """§3.7: 2(1 + 2h + h² + w0(h+1)) · w1 · w2 for 3D unit-slope stencils."""
+    program = get_stencil("heat_3d", sizes=(32, 32, 32), steps=8)
+    canonical = canonicalize(program)
+    for h, w0, w1, w2 in [(2, 7, 10, 32), (1, 3, 8, 16), (3, 2, 4, 8)]:
+        tiling = HybridTiling(canonical, TileSizes.of(h, w0, w1, w2))
+        expected = 2 * (1 + 2 * h + h * h + w0 * (h + 1)) * w1 * w2
+        assert tiling.iterations_per_full_tile() == expected
+
+
+def test_time_steps_per_tile(jacobi_tiling):
+    assert jacobi_tiling.time_steps_per_tile() == 6
+
+
+def test_schedule_expressions_evaluate_consistently(jacobi_tiling):
+    """The Figure 6 style closed forms agree with the point-wise assignment."""
+    for phase in (Phase.BLUE, Phase.GREEN):
+        exprs = jacobi_tiling.schedule_expressions(phase)
+        for l in range(0, 12):
+            for i in range(1, 15):
+                for j in range(1, 13):
+                    assignment = jacobi_tiling.assign_canonical((l, i, j))
+                    if assignment.tile.phase is not phase:
+                        continue
+                    env = {"l": l, "i": i, "j": j}
+                    assert exprs["T"].evaluate(env) == assignment.tile.time_tile
+                    assert exprs["S0"].evaluate(env) == assignment.tile.space_tiles[0]
+                    assert exprs["S1"].evaluate(env) == assignment.tile.space_tiles[1]
+                    assert exprs["t_local"].evaluate(env) == assignment.local_time
+                    assert exprs["s0_local"].evaluate(env) == assignment.local_space[0]
+
+
+def test_validation_detects_broken_schedule(jacobi_canonical):
+    """Sabotaged tile coordinates must be caught by the legality checker."""
+    tiling = HybridTiling(jacobi_canonical, TileSizes.of(2, 3, 6))
+    original = tiling.assign_canonical
+
+    def sabotaged(point):
+        result = original(point)
+        if result.tile.phase is Phase.GREEN:
+            broken_tile = type(result.tile)(
+                time_tile=result.tile.time_tile - 1,
+                phase=result.tile.phase,
+                space_tiles=result.tile.space_tiles,
+            )
+            return type(result)(
+                tile=broken_tile,
+                local_time=result.local_time,
+                local_space=result.local_space,
+                statement_index=result.statement_index,
+                canonical_point=result.canonical_point,
+            )
+        return result
+
+    tiling.assign_canonical = sabotaged  # type: ignore[method-assign]
+    with pytest.raises(ScheduleValidationError):
+        check_legality(tiling)
+
+
+def test_uniformity_reports_full_and_partial_tiles(jacobi_tiling):
+    full, partial = check_tile_uniformity(jacobi_tiling)
+    assert full + partial == len(jacobi_tiling.group_instances_by_tile())
+    assert partial > 0
+    assert check_coverage(jacobi_tiling) == jacobi_tiling.canonical.program.stencil_updates()

@@ -1,0 +1,122 @@
+"""Unit tests for the two-phase hexagonal schedule (equations (2)-(5))."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.tiling.cone import DependenceCone
+from repro.tiling.hex_schedule import HexagonalSchedule, Phase
+from repro.tiling.hexagon import HexagonalTileShape
+
+
+@pytest.fixture
+def unit_schedule():
+    shape = HexagonalTileShape(DependenceCone(Fraction(1), Fraction(1)), 2, 3)
+    return HexagonalSchedule(shape)
+
+
+def test_every_point_assigned_to_exactly_one_phase(unit_schedule):
+    for l in range(0, 40):
+        for s0 in range(-25, 25):
+            unit_schedule.assign(l, s0, check_unique=True)
+
+
+def test_phase_zero_executes_lower_time_first(unit_schedule):
+    """Within a time tile, blue (phase 0) covers the lower logical times."""
+    assignment = unit_schedule.assign(0, 0)
+    assert assignment.phase is Phase.BLUE or assignment.phase is Phase.GREEN
+    blue_times = []
+    green_times = []
+    for l in range(0, unit_schedule.shape.time_period):
+        for s0 in range(0, 24):
+            a = unit_schedule.assign(l, s0)
+            if a.time_tile == 0:
+                (blue_times if a.phase is Phase.BLUE else green_times).append(l)
+    assert blue_times and green_times
+    assert min(blue_times) <= min(green_times)
+
+
+def test_tile_points_round_trip(unit_schedule):
+    """tile_points is the inverse of assign for every phase/tile index."""
+    for phase in (Phase.BLUE, Phase.GREEN):
+        for time_tile in (1, 2):
+            for space_tile in (-1, 0, 2):
+                points = list(unit_schedule.tile_points(phase, time_tile, space_tile))
+                assert len(points) == unit_schedule.shape.count()
+                for l, s0 in points:
+                    assignment = unit_schedule.assign(l, s0)
+                    assert assignment.phase is phase
+                    assert assignment.time_tile == time_tile
+                    assert assignment.space_tile == space_tile
+
+
+def test_full_tiles_have_identical_point_count(unit_schedule):
+    """The hexagonal-tiling property the paper contrasts with diamond tiling."""
+    from collections import Counter
+
+    counts = Counter()
+    for l in range(0, 72):
+        for s0 in range(0, 96):
+            a = unit_schedule.assign(l, s0)
+            counts[(a.phase, a.time_tile, a.space_tile)] += 1
+    interior = [
+        count
+        for (phase, t, s), count in counts.items()
+        if 1 <= t <= 8 and 1 <= s <= 5
+    ]
+    assert interior
+    assert set(interior) == {unit_schedule.shape.count()}
+
+
+def test_wavefront_parallelism_is_legal(unit_schedule):
+    """Dependences never cross S0 tiles within the same (T, phase)."""
+    distances = [(1, 1), (1, -1), (1, 0)]
+    for l in range(4, 40):
+        for s0 in range(-15, 15):
+            sink = unit_schedule.assign(l, s0)
+            for dl, ds in distances:
+                source = unit_schedule.assign(l - dl, s0 - ds)
+                source_key = (source.time_tile, int(source.phase))
+                sink_key = (sink.time_tile, int(sink.phase))
+                assert source_key <= sink_key
+                if source_key == sink_key:
+                    assert source.space_tile == sink.space_tile
+                    assert source.local_time < sink.local_time
+
+
+def test_asymmetric_cone_coverage_and_legality():
+    """The paper's contrived example (δ0=1, δ1=2) tiles and schedules correctly."""
+    shape = HexagonalTileShape(DependenceCone(Fraction(1), Fraction(2)), 2, 1)
+    schedule = HexagonalSchedule(shape)
+    distances = [(1, -2), (2, 2)]
+    for l in range(4, 30):
+        for s0 in range(-20, 20):
+            sink = schedule.assign(l, s0, check_unique=True)
+            for dl, ds in distances:
+                source = schedule.assign(l - dl, s0 - ds)
+                source_key = (source.time_tile, int(source.phase))
+                sink_key = (sink.time_tile, int(sink.phase))
+                assert source_key <= sink_key
+                if source_key == sink_key:
+                    assert source.space_tile == sink.space_tile
+
+
+def test_quasi_affine_expressions_match_direct_evaluation(unit_schedule):
+    """The emitted C expressions compute the same tile coordinates."""
+    for phase in (Phase.BLUE, Phase.GREEN):
+        t_expr = unit_schedule.time_tile_expr(phase)
+        a_expr = unit_schedule.local_time_expr(phase)
+        for l in range(0, 30):
+            for s0 in range(-10, 10):
+                expected = (
+                    unit_schedule.phase0_box(l, s0)
+                    if phase is Phase.BLUE
+                    else unit_schedule.phase1_box(l, s0)
+                )
+                env = {"l": l, "s0": s0, "T": expected[0]}
+                assert t_expr.evaluate(env) == expected[0]
+                s_expr = unit_schedule.space_tile_expr(phase)
+                assert s_expr.evaluate(env) == expected[1]
+                assert a_expr.evaluate(env) == expected[2]
+                b_expr = unit_schedule.local_space_expr(phase)
+                assert b_expr.evaluate(env) == expected[3]
