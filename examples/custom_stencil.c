@@ -1,0 +1,29 @@
+/* edge_diffusion_2d */
+/*
+ * A user-written stencil the repro's library does not know about: one step
+ * of edge-preserving diffusion.  The update averages the 4-neighbourhood,
+ * weighted by an inverse gradient magnitude computed with sqrtf, so the
+ * front end exercises float constants, intrinsic calls and a 5-point
+ * double-resolved footprint.
+ *
+ * This is exactly the shape of input the paper's tool chain consumes
+ * (Figure 1): an outer time loop, a perfectly nested spatial loop nest,
+ * time-offset accesses, and #pragma ivdep on the innermost loop.
+ */
+
+#define T 64
+#define N0 512
+#define N1 512
+
+float u[2][N0][N1];
+
+for (t = 0; t < T; t++) {
+  for (i = 1; i < N0 - 1; i++)
+#pragma ivdep
+    for (j = 1; j < N1 - 1; j++)
+      u[t][i][j] = u[t-1][i][j] + 0.2f *
+          (u[t-1][i+1][j] + u[t-1][i-1][j] + u[t-1][i][j+1] + u[t-1][i][j-1]
+           - 4.0f * u[t-1][i][j])
+          / sqrtf(1.0f + (u[t-1][i+1][j] - u[t-1][i-1][j])
+                       * (u[t-1][i+1][j] - u[t-1][i-1][j]));
+}

@@ -32,6 +32,9 @@ _EXPORTS = {
     "TileSizes": "repro.pipeline",
     "get_stencil": "repro.stencils",
     "list_stencils": "repro.stencils",
+    "parse_stencil": "repro.frontend",
+    "register_from_source": "repro.stencils",
+    "FrontendError": "repro.frontend",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

@@ -7,6 +7,8 @@ Examples
     hexcc list
     hexcc compile heat_3d --h 2 --widths 7,10,32 --show-cuda
     hexcc validate jacobi_2d --size 20 --steps 10
+    hexcc compile-file examples/custom_stencil.c --show-cuda
+    hexcc validate-file examples/custom_stencil.c --sizes 16,16 --steps 6
     hexcc table 1          # regenerate Table 1 (GTX 470 comparison)
     hexcc table 4          # regenerate Table 4 (heat 3D ablation)
 """
@@ -17,8 +19,9 @@ import argparse
 import sys
 
 from repro.compiler import HybridCompiler
+from repro.frontend import FrontendError, parse_stencil_file
 from repro.gpu.device import GTX470, NVS5200M, get_device
-from repro.stencils import get_stencil, list_stencils
+from repro.stencils import get_definition, get_stencil, list_stencils
 from repro.tiling.hybrid import TileSizes
 
 
@@ -35,8 +38,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compile(args: argparse.Namespace) -> int:
-    program = get_stencil(args.stencil)
+def _compile_and_report(program, args: argparse.Namespace) -> int:
     compiler = HybridCompiler(get_device(args.device))
     compiled = compiler.compile(program, tile_sizes=_parse_tile_sizes(args))
     print(compiled.describe())
@@ -48,16 +50,47 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_validate(args: argparse.Namespace) -> int:
-    sizes = tuple([args.size] * (3 if args.stencil.endswith("3d") else 2)) \
-        if args.stencil not in ("jacobi_1d", "wide_1d", "higher_order_time") else (args.size,)
-    program = get_stencil(args.stencil, sizes=sizes, steps=args.steps)
-    compiler = HybridCompiler()
-    compiled = compiler.compile(program, tile_sizes=_parse_tile_sizes(args))
+def _validate_and_report(program, args: argparse.Namespace) -> int:
+    compiled = HybridCompiler().compile(program, tile_sizes=_parse_tile_sizes(args))
     print(compiled.validate())
     compiled.simulate_and_check()
     print("functional simulation matches the NumPy reference")
     return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    return _compile_and_report(get_stencil(args.stencil), args)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    sizes = (args.size,) * get_definition(args.stencil).dimensions
+    program = get_stencil(args.stencil, sizes=sizes, steps=args.steps)
+    return _validate_and_report(program, args)
+
+
+def _sizes_arg(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma separated integers (e.g. 16,16), got {text!r}"
+        )
+
+
+def _load_stencil_file(args: argparse.Namespace):
+    return parse_stencil_file(
+        args.file,
+        sizes=args.sizes,
+        time_steps=args.steps,
+    )
+
+
+def _cmd_compile_file(args: argparse.Namespace) -> int:
+    return _compile_and_report(_load_stencil_file(args), args)
+
+
+def _cmd_validate_file(args: argparse.Namespace) -> int:
+    return _validate_and_report(_load_stencil_file(args), args)
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -115,6 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser.add_argument("--widths", default=None)
     validate_parser.set_defaults(func=_cmd_validate)
 
+    compile_file_parser = sub.add_parser(
+        "compile-file", help="compile a C stencil source file with the front end"
+    )
+    compile_file_parser.add_argument("file", help="path to a .c stencil source")
+    compile_file_parser.add_argument("--device", default="gtx470")
+    compile_file_parser.add_argument("--h", type=int, default=2)
+    compile_file_parser.add_argument("--widths", default=None,
+                                     help="comma separated w0,w1,...")
+    compile_file_parser.add_argument("--sizes", default=None, type=_sizes_arg,
+                                     help="comma separated grid extents, "
+                                          "overriding the source's #defines")
+    compile_file_parser.add_argument("--steps", type=int, default=None)
+    compile_file_parser.add_argument("--show-cuda", action="store_true")
+    compile_file_parser.set_defaults(func=_cmd_compile_file)
+
+    validate_file_parser = sub.add_parser(
+        "validate-file",
+        help="parse, validate and simulate a C stencil source file",
+    )
+    validate_file_parser.add_argument("file", help="path to a .c stencil source")
+    validate_file_parser.add_argument("--sizes", default=None, type=_sizes_arg,
+                                      help="comma separated small grid extents")
+    validate_file_parser.add_argument("--steps", type=int, default=None)
+    validate_file_parser.add_argument("--h", type=int, default=1)
+    validate_file_parser.add_argument("--widths", default=None)
+    validate_file_parser.set_defaults(func=_cmd_validate_file)
+
     table_parser = sub.add_parser("table", help="regenerate one of the paper's tables")
     table_parser.add_argument("number", type=int)
     table_parser.set_defaults(func=_cmd_table)
@@ -124,7 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FrontendError as error:
+        print(error.pretty(), file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error.filename or ''}: {error.strerror}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -114,7 +114,7 @@ class HybridCompiler:
 
     def compile(
         self,
-        program: StencilProgram,
+        program: StencilProgram | str,
         tile_sizes: TileSizes | None = None,
         config: OptimizationConfig | None = None,
         storage: str = "expanded",
@@ -125,7 +125,9 @@ class HybridCompiler:
         Parameters
         ----------
         program:
-            The stencil program (any size; use small sizes for simulation).
+            The stencil program (any size; use small sizes for simulation),
+            or raw Figure-1-style C source text, which is parsed with
+            :func:`repro.frontend.parse_stencil` first.
         tile_sizes:
             Explicit ``h, w0..wn``; selected by the §3.7 model when omitted.
         config:
@@ -134,6 +136,10 @@ class HybridCompiler:
         storage:
             Dependence storage model passed to the canonicaliser.
         """
+        if isinstance(program, str):
+            from repro.frontend import parse_stencil
+
+            program = parse_stencil(program)
         config = config or OptimizationConfig.default()
         canonical = canonicalize(program, storage=storage)
 

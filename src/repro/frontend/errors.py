@@ -1,0 +1,84 @@
+"""Source-located diagnostics for the C stencil front end.
+
+Every error the front end raises carries the offending source text and a
+``(line, column)`` position (both 1-based) and renders itself as a compiler
+style message with a caret snippet::
+
+    examples/custom_stencil.c:4:14: error: non-affine subscript 'i * i'
+          A[t][i * i] = 0.5f * A[t-1][i][j];
+               ^
+
+The two concrete classes distinguish the stage that rejected the input:
+:class:`StencilSyntaxError` for lexical/grammatical problems,
+:class:`StencilSemanticError` for programs that parse but fall outside the
+supported fragment (non-affine subscripts, imperfect nests, data dependent
+bounds, ...).
+"""
+
+from __future__ import annotations
+
+
+class FrontendError(Exception):
+    """Base class for all front end diagnostics.
+
+    Parameters
+    ----------
+    message:
+        The diagnostic text (without location prefix).
+    source:
+        The complete source text being compiled (used for the snippet).
+    line / column:
+        1-based position of the offending token.
+    filename:
+        Optional display name used in the location prefix.
+    """
+
+    stage = "error"
+
+    def __init__(
+        self,
+        message: str,
+        source: str = "",
+        line: int = 0,
+        column: int = 0,
+        filename: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.source = source
+        self.line = line
+        self.column = column
+        self.filename = filename or "<stencil>"
+
+    def snippet(self) -> str:
+        """The offending source line with a caret under the error column."""
+        if not self.source or self.line <= 0:
+            return ""
+        lines = self.source.splitlines()
+        if self.line > len(lines):
+            return ""
+        text = lines[self.line - 1]
+        caret = " " * max(self.column - 1, 0) + "^"
+        return f"{text}\n{caret}"
+
+    def pretty(self) -> str:
+        """Full compiler-style rendering: location, message, caret snippet."""
+        location = f"{self.filename}:{self.line}:{self.column}: " if self.line else ""
+        head = f"{location}{self.stage}: {self.message}"
+        snippet = self.snippet()
+        return f"{head}\n{snippet}" if snippet else head
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+class StencilSyntaxError(FrontendError):
+    """The input is not lexically/grammatically valid Figure-1-style C."""
+
+    stage = "syntax error"
+
+
+class StencilSemanticError(FrontendError):
+    """The input parses but is outside the supported stencil fragment."""
+
+    stage = "error"

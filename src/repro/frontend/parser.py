@@ -1,0 +1,309 @@
+"""Recursive-descent parser for the Figure-1-style C stencil dialect.
+
+Grammar (informally)::
+
+    program   := define* decl* for
+    define    := '#define' IDENT INT
+    decl      := ('float'|'double'|'int') IDENT ('[' expr ']')+ ';'
+    for       := '#pragma ivdep'? 'for' '(' IDENT '=' expr ';'
+                 IDENT '<' expr ';' step ')' body
+    step      := IDENT '++' | IDENT '+=' INT | IDENT '=' IDENT '+' INT
+    body      := '{' (for | assign)* '}' | for | assign
+    assign    := arrayref '=' expr ';'
+    arrayref  := IDENT ('[' expr ']')+
+    expr      := additive with the usual precedence over '+-' '*/%',
+                 unary '-', parentheses, calls and array references
+
+The parser is purely syntactic: it accepts any well-formed loop nest and
+leaves the stencil-specific restrictions (perfect nesting, affine subscripts,
+recognised time indices) to :mod:`repro.frontend.analyze`, which can then
+produce far better error messages than a grammar mismatch could.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.frontend.ast import (
+    CArrayRef,
+    CAssign,
+    CBinary,
+    CCall,
+    CDecl,
+    CExpr,
+    CFor,
+    CName,
+    CNumber,
+    CProgram,
+    CUnary,
+    Location,
+)
+from repro.frontend.errors import StencilSyntaxError
+from repro.frontend.lexer import Lexer, Token, tokenize
+
+_NAME_COMMENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class Parser:
+    """Parse one translation unit of the stencil dialect."""
+
+    def __init__(self, source: str, filename: str | None = None) -> None:
+        self.source = source
+        self.filename = filename
+        lexer = Lexer(source, filename)
+        self.tokens = lexer.tokenize()
+        self.name_hint = next(
+            (c for c in lexer.comments if _NAME_COMMENT.match(c)), None
+        )
+        self.index = 0
+
+    # -- token stream helpers ------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None):
+        token = token or self.current
+        raise StencilSyntaxError(
+            message, self.source, token.line, token.column, self.filename
+        )
+
+    def _expect(self, kind: str, what: str | None = None) -> Token:
+        if self.current.kind != kind:
+            expected = what or f"{kind!r}"
+            self._error(f"expected {expected}, found {self.current.describe()}")
+        return self._advance()
+
+    def _loc(self, token: Token) -> Location:
+        return Location(token.line, token.column)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> CProgram:
+        defines: dict[str, int] = {}
+        decls: list[CDecl] = []
+        time_loop: CFor | None = None
+        while self.current.kind != "eof":
+            token = self.current
+            if token.kind == "define":
+                name, value = token.value  # type: ignore[misc]
+                if not isinstance(value, int):
+                    self._error(
+                        f"'#define {name}' must expand to an integer", token
+                    )
+                defines[str(name)] = int(value)
+                self._advance()
+            elif token.kind == "keyword" and token.value in ("float", "double", "int", "void"):
+                decls.append(self._parse_decl())
+            elif token.kind == "keyword" and token.value == "for" or token.kind == "pragma":
+                if time_loop is not None:
+                    self._error("only one outer time loop is supported", token)
+                time_loop = self._parse_for()
+            else:
+                self._error(
+                    f"expected '#define', a declaration or the time loop, "
+                    f"found {token.describe()}"
+                )
+        if time_loop is None:
+            last = self.tokens[-1]
+            self._error("no time loop found (expected 'for (t = ...; ...)')", last)
+        return CProgram(
+            defines=defines,
+            decls=tuple(decls),
+            time_loop=time_loop,
+            name_hint=self.name_hint,
+        )
+
+    def _parse_decl(self) -> CDecl:
+        type_token = self._advance()
+        name = self._expect("ident", "an array name")
+        extents: list[CExpr] = []
+        while self.current.kind == "[":
+            self._advance()
+            extents.append(self._parse_expr())
+            self._expect("]")
+        if not extents:
+            self._error(f"declaration of {name.value!r} needs array extents", name)
+        self._expect(";")
+        return CDecl(
+            str(type_token.value), str(name.value), tuple(extents), self._loc(type_token)
+        )
+
+    def _parse_for(self) -> CFor:
+        ivdep = False
+        while self.current.kind == "pragma":
+            ivdep = True
+            self._advance()
+        for_token = self.current
+        if not (for_token.kind == "keyword" and for_token.value == "for"):
+            self._error("expected a 'for' loop after '#pragma ivdep'")
+        self._advance()
+        self._expect("(")
+        var = self._expect("ident", "a loop variable")
+        self._expect("=")
+        lower = self._parse_expr()
+        self._expect(";")
+        cond_var = self._expect("ident", "the loop variable in the condition")
+        if cond_var.value != var.value:
+            self._error(
+                f"loop condition tests {cond_var.value!r} but the loop "
+                f"variable is {var.value!r}",
+                cond_var,
+            )
+        self._expect("<", "'<' (only 'var < bound' conditions are supported)")
+        upper = self._parse_expr()
+        self._expect(";")
+        self._parse_step(str(var.value))
+        self._expect(")")
+        body = self._parse_body()
+        return CFor(
+            var=str(var.value),
+            lower=lower,
+            upper=upper,
+            body=tuple(body),
+            ivdep=ivdep,
+            loc=self._loc(for_token),
+        )
+
+    def _parse_step(self, var: str) -> None:
+        name = self._expect("ident", "the loop variable in the increment")
+        if name.value != var:
+            self._error(
+                f"increment updates {name.value!r} but the loop variable is {var!r}",
+                name,
+            )
+        if self.current.kind == "++":
+            self._advance()
+            return
+        if self.current.kind == "+=":
+            self._advance()
+            step = self._expect("number", "an integer step")
+            if step.value != 1:
+                self._error("only unit-stride loops are supported", step)
+            return
+        if self.current.kind == "=":
+            self._advance()
+            rhs_name = self._expect("ident", "the loop variable")
+            if rhs_name.value != var:
+                self._error(f"expected '{var} = {var} + 1'", rhs_name)
+            self._expect("+")
+            step = self._expect("number", "an integer step")
+            if step.value != 1:
+                self._error("only unit-stride loops are supported", step)
+            return
+        self._error(f"expected '{var}++', found {self.current.describe()}")
+
+    def _parse_body(self) -> list[object]:
+        if self.current.kind == "{":
+            self._advance()
+            statements: list[object] = []
+            while self.current.kind != "}":
+                if self.current.kind == "eof":
+                    self._error("unterminated '{' block")
+                statements.append(self._parse_statement())
+            self._advance()
+            return statements
+        return [self._parse_statement()]
+
+    def _parse_statement(self) -> object:
+        token = self.current
+        if token.kind == "pragma" or (token.kind == "keyword" and token.value == "for"):
+            return self._parse_for()
+        if token.kind == "ident":
+            return self._parse_assign()
+        self._error(
+            f"expected a nested 'for' loop or an assignment, found {token.describe()}"
+        )
+        raise AssertionError("unreachable")
+
+    def _parse_assign(self) -> CAssign:
+        start = self.current
+        target = self._parse_postfix()
+        if not isinstance(target, CArrayRef):
+            self._error("assignment target must be an array reference", start)
+        self._expect("=", "'=' (compound assignments are not supported)")
+        value = self._parse_expr()
+        self._expect(";")
+        return CAssign(target=target, value=value, loc=self._loc(start))
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> CExpr:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> CExpr:
+        left = self._parse_multiplicative()
+        while self.current.kind in ("+", "-"):
+            op = self._advance()
+            right = self._parse_multiplicative()
+            left = CBinary(self._loc(op), str(op.kind), left, right)
+        return left
+
+    def _parse_multiplicative(self) -> CExpr:
+        left = self._parse_unary()
+        while self.current.kind in ("*", "/", "%"):
+            op = self._advance()
+            right = self._parse_unary()
+            left = CBinary(self._loc(op), str(op.kind), left, right)
+        return left
+
+    def _parse_unary(self) -> CExpr:
+        if self.current.kind == "-":
+            op = self._advance()
+            operand = self._parse_unary()
+            return CUnary(self._loc(op), "-", operand)
+        if self.current.kind == "+":
+            self._advance()
+            return self._parse_unary()
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> CExpr:
+        token = self.current
+        if token.kind == "number":
+            self._advance()
+            return CNumber(
+                self._loc(token), token.value, isinstance(token.value, float)
+            )
+        if token.kind == "(":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(")")
+            return inner
+        if token.kind == "ident":
+            name = self._advance()
+            loc = self._loc(name)
+            if self.current.kind == "(":
+                self._advance()
+                args: list[CExpr] = []
+                if self.current.kind != ")":
+                    args.append(self._parse_expr())
+                    while self.current.kind == ",":
+                        self._advance()
+                        args.append(self._parse_expr())
+                self._expect(")")
+                return CCall(loc, str(name.value), tuple(args))
+            if self.current.kind == "[":
+                subscripts: list[CExpr] = []
+                while self.current.kind == "[":
+                    self._advance()
+                    subscripts.append(self._parse_expr())
+                    self._expect("]")
+                return CArrayRef(loc, str(name.value), tuple(subscripts))
+            return CName(loc, str(name.value))
+        self._error(f"expected an expression, found {token.describe()}")
+        raise AssertionError("unreachable")
+
+
+def parse_source(source: str, filename: str | None = None) -> CProgram:
+    """Parse ``source`` into a :class:`CProgram` syntax tree."""
+    return Parser(source, filename).parse()
+
+
+__all__ = ["Parser", "parse_source", "tokenize"]

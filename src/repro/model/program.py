@@ -20,7 +20,48 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.model.expr import Expr, FieldRead, count_flops, distinct_reads, gather_reads
+from repro.model.expr import (
+    BinOp,
+    Call,
+    Constant,
+    Expr,
+    FieldRead,
+    count_flops,
+    distinct_reads,
+    gather_reads,
+)
+
+
+def _figure1_expr(expr: Expr, loop_vars: Sequence[str], time_var: str = "t") -> str:
+    """Print an expression in the time-indexed form ``A[t-k][i+1][j]``.
+
+    This is the inverse of what the front end's lowering accepts: a write at
+    ``A[t][...]`` reading ``A[t-k][...]`` yields ``time_offset == k``.
+    """
+    if isinstance(expr, Constant):
+        return f"{expr.value}f"
+    if isinstance(expr, FieldRead):
+        if expr.time_offset == 0:
+            time_sub = f"[{time_var}]"
+        else:
+            time_sub = f"[{time_var}-{expr.time_offset}]"
+        subscripts = []
+        for name, offset in zip(loop_vars, expr.offsets):
+            if offset == 0:
+                subscripts.append(f"[{name}]")
+            elif offset > 0:
+                subscripts.append(f"[{name}+{offset}]")
+            else:
+                subscripts.append(f"[{name}-{-offset}]")
+        return f"{expr.field}{time_sub}{''.join(subscripts)}"
+    if isinstance(expr, BinOp):
+        lhs = _figure1_expr(expr.lhs, loop_vars, time_var)
+        rhs = _figure1_expr(expr.rhs, loop_vars, time_var)
+        return f"({lhs} {expr.op} {rhs})"
+    if isinstance(expr, Call):
+        args = ", ".join(_figure1_expr(a, loop_vars, time_var) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot print {type(expr).__name__} as Figure-1 C")
 
 
 @dataclass(frozen=True)
@@ -309,30 +350,43 @@ class StencilProgram:
         """Return (or regenerate) a C source form of the program.
 
         If the program was built by the front end the original source is
-        returned; otherwise a Figure-1-style double-buffered loop nest is
-        produced.
+        returned; otherwise a Figure-1-style time-indexed loop nest is
+        produced.  The regenerated form is accepted by
+        :func:`repro.frontend.parse_stencil`, so every program round-trips
+        through C source: writes go to ``A[t][i][j]`` and a read with
+        ``time_offset == k`` appears as ``A[t-k][i][j]``.
         """
         if self.source is not None:
             return self.source
-        lines = [f"/* {self.name} */"]
-        lines.append(f"for (t = 0; t < T; t++) {{")
+        depth = max(self.max_time_offset(), 1) + 1
+        lines = [f"/* {self.name} */", f"#define T {self.time_steps}"]
+        for axis, size in enumerate(self.sizes):
+            lines.append(f"#define N{axis} {size}")
+        lines.append("")
+        extents = "".join(f"[N{axis}]" for axis in range(self.ndim))
+        for name in self.fields:
+            lines.append(f"float {name}[{depth}]{extents};")
+        lines.append("")
+        lines.append("for (t = 0; t < T; t++) {")
         for statement in self.statements:
             indent = "  "
             loop_vars = []
             for axis, dim in enumerate(self.space_dims):
                 lo = statement.lower_margin[axis]
                 hi = statement.upper_margin[axis]
-                size = f"N{axis}"
+                bound = f"N{axis} - {hi}" if hi else f"N{axis}"
+                if axis == self.ndim - 1:
+                    lines.append("#pragma ivdep")
                 lines.append(
-                    f"{indent}for ({dim} = {lo}; {dim} < {size} - {hi}; {dim}++)"
+                    f"{indent}for ({dim} = {lo}; {dim} < {bound}; {dim}++)"
                 )
                 indent += "  "
                 loop_vars.append(dim)
-            body = statement.expr.to_c(loop_vars)
+            body = _figure1_expr(statement.expr, loop_vars)
             subscripts = "".join(f"[{v}]" for v in loop_vars)
-            lines.append(f"{indent}{statement.target}_new{subscripts} = {body};")
+            lines.append(f"{indent}{statement.target}[t]{subscripts} = {body};")
         lines.append("}")
-        return "\n".join(lines)
+        return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:
         return (

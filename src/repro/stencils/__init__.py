@@ -9,17 +9,23 @@ front end.
 from repro.stencils.library import (
     StencilDefinition,
     c_source_for,
+    get_definition,
     get_stencil,
     jacobi_2d_source,
     list_stencils,
     paper_benchmarks,
+    register_from_source,
+    unregister,
 )
 
 __all__ = [
     "StencilDefinition",
+    "get_definition",
     "get_stencil",
     "list_stencils",
     "paper_benchmarks",
+    "register_from_source",
+    "unregister",
     "c_source_for",
     "jacobi_2d_source",
 ]

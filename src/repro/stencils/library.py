@@ -315,9 +315,71 @@ def get_stencil(
     definition = get_definition(name)
     use_sizes = tuple(sizes) if sizes is not None else definition.default_sizes
     use_steps = steps if steps is not None else definition.default_steps
+    if len(use_sizes) != definition.dimensions:
+        raise ValueError(
+            f"stencil {name!r} is {definition.dimensions}-D but "
+            f"{len(use_sizes)} sizes were given: {use_sizes}"
+        )
     if definition.dimensions == 1:
         return definition.builder(use_sizes[0], use_steps)
     return definition.builder(use_sizes, use_steps)
+
+
+def register_from_source(
+    source: str,
+    name: str | None = None,
+    *,
+    sizes: Sequence[int] | None = None,
+    steps: int | None = None,
+    description: str | None = None,
+    replace: bool = False,
+) -> StencilDefinition:
+    """Parse C stencil source with the front end and add it to the registry.
+
+    The source is parsed once eagerly (so malformed input fails here, with a
+    source-located error) and the resulting program's sizes/steps become the
+    registered defaults.  The definition's builder re-parses with the sizes
+    and steps :func:`get_stencil` passes, so registered stencils support size
+    overrides exactly like the built-in ones.
+    """
+    from repro.frontend import parse_stencil
+
+    program = parse_stencil(source, name=name, sizes=sizes, time_steps=steps)
+    if program.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"stencil {program.name!r} is already registered "
+            "(pass replace=True to overwrite)"
+        )
+
+    def builder(
+        build_sizes: Sequence[int] | int = program.sizes,
+        build_steps: int = program.time_steps,
+    ) -> StencilProgram:
+        if isinstance(build_sizes, int):
+            build_sizes = (build_sizes,)
+        return parse_stencil(
+            source,
+            name=program.name,
+            sizes=tuple(build_sizes),
+            time_steps=build_steps,
+        )
+
+    definition = StencilDefinition(
+        name=program.name,
+        builder=builder,
+        default_sizes=program.sizes,
+        default_steps=program.time_steps,
+        dimensions=program.ndim,
+        description=description or f"user stencil ({program.ndim}-D, from C source)",
+        in_paper=False,
+    )
+    _register(definition)
+    return definition
+
+
+def unregister(name: str) -> None:
+    """Remove a stencil from the registry (no-op if absent)."""
+    _REGISTRY.pop(name, None)
 
 
 def jacobi_2d_source() -> str:

@@ -1,0 +1,226 @@
+"""Tests for semantic analysis: the accepted fragment and its rejections."""
+
+import pytest
+
+from repro.frontend import parse_stencil
+from repro.frontend.errors import StencilSemanticError
+
+
+def wrap_2d(body, bounds="N - 1"):
+    return (
+        "#define T 4\n#define N 16\n"
+        "for (t = 0; t < T; t++)\n"
+        f"  for (i = 1; i < {bounds}; i++)\n"
+        f"    for (j = 1; j < {bounds}; j++)\n"
+        f"      {body}\n"
+    )
+
+
+# -- accepted fragment ---------------------------------------------------------
+
+
+def test_margins_from_loop_bounds():
+    source = (
+        "#define T 4\n#define N 16\n#define M 12\n"
+        "for (t = 0; t < T; t++)\n"
+        "  for (i = 2; i < N - 3; i++)\n"
+        "    for (j = 0; j < M; j++)\n"
+        "      A[t][i][j] = A[t-1][i][j];\n"
+    )
+    program = parse_stencil(source)
+    assert program.sizes == (16, 12)
+    (statement,) = program.statements
+    assert statement.lower_margin == (2, 0)
+    assert statement.upper_margin == (3, 0)
+
+
+def test_double_buffered_and_time_offset_forms_agree():
+    modulo = wrap_2d("A[(t+1)%2][i][j] = 0.25f * A[t%2][i][j+1];")
+    offset = wrap_2d("A[t][i][j] = 0.25f * A[t-1][i][j+1];")
+    a = parse_stencil(modulo).statements[0]
+    b = parse_stencil(offset).statements[0]
+    assert a.expr == b.expr
+    assert a.reads[0].time_offset == 1
+
+
+def test_higher_order_time_offsets():
+    source = (
+        "#define T 4\n#define N 32\n"
+        "for (t = 0; t < T; t++)\n"
+        "  for (i = 2; i < N - 2; i++)\n"
+        "    A[t][i] = 0.5f * A[t-2][i-2] + 0.5f * A[t-1][i+2];\n"
+    )
+    (statement,) = parse_stencil(source).statements
+    assert sorted(r.time_offset for r in statement.reads) == [1, 2]
+    assert statement.max_time_offset() == 2
+
+
+def test_multi_statement_program_order_and_offset_zero():
+    source = (
+        "#define T 4\n#define N 16\n"
+        "for (t = 0; t < T; t++) {\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "    for (j = 1; j < N - 1; j++)\n"
+        "      ex[t][i][j] = ex[t-1][i][j] - 0.5f * hz[t-1][i][j];\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "    for (j = 1; j < N - 1; j++)\n"
+        "      hz[t][i][j] = hz[t-1][i][j] - 0.7f * ex[t][i][j];\n"
+        "}\n"
+    )
+    program = parse_stencil(source)
+    assert [s.target for s in program.statements] == ["ex", "hz"]
+    hz_reads = {r.field: r.time_offset for r in program.statements[1].reads}
+    assert hz_reads == {"hz": 1, "ex": 0}
+
+
+def test_defined_constant_in_body_and_sizes_override():
+    source = wrap_2d("A[t][i][j] = C * A[t-1][i][j];").replace(
+        "#define T 4\n", "#define T 4\n#define C 3\n"
+    )
+    program = parse_stencil(source, sizes=(20, 20), time_steps=2)
+    assert program.sizes == (20, 20)
+    assert program.time_steps == 2
+    assert "3.0" in str(program.statements[0].expr)
+
+
+# -- rejections ----------------------------------------------------------------
+
+
+def expect_error(source, pattern, **kwargs):
+    with pytest.raises(StencilSemanticError, match=pattern) as info:
+        parse_stencil(source, **kwargs)
+    assert info.value.line > 0 and info.value.column > 0
+    assert "^" in info.value.pretty()
+    return info.value
+
+
+def test_non_affine_subscript_product():
+    expect_error(wrap_2d("A[t][i][j*j] = A[t-1][i][j];"), "non-affine subscript")
+
+
+def test_non_affine_subscript_array_dependent():
+    expect_error(
+        wrap_2d("A[t][i][B[t][i][j]] = A[t-1][i][j];"),
+        "non-affine subscript",
+    )
+
+
+def test_wrong_loop_variable_in_subscript():
+    expect_error(wrap_2d("A[t][j][i] = A[t-1][i][j];"), "loop variable for that dimension")
+
+
+def test_imperfect_nest_statement_beside_loop():
+    source = (
+        "for (t = 0; t < 4; t++)\n"
+        "  for (i = 1; i < 15; i++) {\n"
+        "    B[t][i] = A[t-1][i];\n"
+        "    for (j = 1; j < 15; j++)\n"
+        "      A[t][i] = A[t-1][i];\n"
+        "  }\n"
+    )
+    expect_error(source, "imperfect loop nest", sizes=(16, 16))
+
+
+def test_imperfect_nest_two_loops_same_depth():
+    source = (
+        "for (t = 0; t < 4; t++)\n"
+        "  for (i = 1; i < 15; i++) {\n"
+        "    for (j = 1; j < 15; j++)\n"
+        "      A[t][i][j] = A[t-1][i][j];\n"
+        "    for (j = 1; j < 15; j++)\n"
+        "      B[t][i][j] = A[t][i][j];\n"
+        "  }\n"
+    )
+    expect_error(source, "imperfect loop nest")
+
+
+def test_data_dependent_bound():
+    expect_error(
+        wrap_2d("A[t][i][j] = A[t-1][i][j];", bounds="B[0][0][0]"),
+        "data-dependent loop bound",
+    )
+
+
+def test_reading_the_future():
+    expect_error(wrap_2d("A[t][i][j] = A[t+1][i][j];"), "future")
+
+
+def test_offset_zero_without_earlier_writer():
+    expect_error(
+        wrap_2d("A[t][i][j] = A[t][i][j];"), "reads its own statement's output"
+    )
+    expect_error(
+        wrap_2d("A[t][i][j] = B[t][i][j];"), "no earlier statement"
+    )
+
+
+def test_unknown_intrinsic():
+    expect_error(wrap_2d("A[t][i][j] = foo(A[t-1][i][j]);"), "unknown function 'foo'")
+
+
+def test_unknown_scalar_identifier():
+    expect_error(wrap_2d("A[t][i][j] = c * A[t-1][i][j];"), "unknown identifier 'c'")
+
+
+def test_unresolved_size_symbol():
+    source = (
+        "for (t = 0; t < 4; t++)\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "    A[t][i] = A[t-1][i];\n"
+    )
+    expect_error(source, "cannot determine the extent")
+
+
+def test_unresolved_time_steps():
+    source = (
+        "#define N 16\n"
+        "for (t = 0; t < T; t++)\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "    A[t][i] = A[t-1][i];\n"
+    )
+    expect_error(source, "cannot determine the number of time steps")
+
+
+def test_conflicting_shared_size_symbol():
+    source = (
+        "for (t = 0; t < 4; t++)\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "    for (j = 1; j < N - 1; j++)\n"
+        "      A[t][i][j] = A[t-1][i][j];\n"
+    )
+    expect_error(source, "two different extents", sizes=(16, 20))
+
+
+def test_mixed_time_indexing_styles():
+    expect_error(
+        wrap_2d("A[(t+1)%2][i][j] = A[t-1][i][j];"), "mixes time indexing styles"
+    )
+
+
+def test_modulus_too_shallow_for_offset():
+    expect_error(
+        wrap_2d("A[(t+2)%2][i][j] = A[t%2][i][j];"), "rotating buffer"
+    )
+
+
+def test_statement_directly_in_time_loop():
+    source = "for (t = 0; t < 4; t++)\n  A[t][0] = 1.0f;\n"
+    expect_error(source, "must sit in a spatial loop nest")
+
+
+def test_write_off_the_current_point():
+    expect_error(
+        wrap_2d("A[t][i+1][j] = A[t-1][i][j];"), "must write the current point"
+    )
+
+
+def test_decl_extents_resolve_sizes():
+    source = (
+        "float A[2][24][18];\n"
+        "for (t = 0; t < 4; t++)\n"
+        "  for (i = 1; i < N0 - 1; i++)\n"
+        "    for (j = 1; j < N1 - 1; j++)\n"
+        "      A[t][i][j] = A[t-1][i][j];\n"
+    )
+    program = parse_stencil(source)
+    assert program.sizes == (24, 18)

@@ -1,0 +1,63 @@
+"""Tests for the front end lexer: tokens, positions, directives, errors."""
+
+import pytest
+
+from repro.frontend.errors import StencilSyntaxError
+from repro.frontend.lexer import Lexer, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def test_basic_tokens():
+    tokens = tokenize("for (i = 0; i < N - 1; i++)")
+    assert [t.kind for t in tokens] == [
+        "keyword", "(", "ident", "=", "number", ";",
+        "ident", "<", "ident", "-", "number", ";",
+        "ident", "++", ")", "eof",
+    ]
+
+
+def test_number_literals():
+    values = [t.value for t in tokenize("1 0.2f 42 1e-3 3.5F 2E+4") if t.kind == "number"]
+    assert values == [1, 0.2, 42, 1e-3, 3.5, 2e4]
+    assert isinstance(values[0], int)
+    assert isinstance(values[1], float)
+
+
+def test_positions_are_one_based():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_comments_are_skipped_and_recorded():
+    lexer = Lexer("/* jacobi */ A // trailing\nB /* two */")
+    tokens = lexer.tokenize()
+    assert [t.value for t in tokens if t.kind == "ident"] == ["A", "B"]
+    assert lexer.comments == ["jacobi", "two"]
+
+
+def test_pragma_and_define_tokens():
+    tokens = tokenize("#define N 32\n#pragma ivdep\n")
+    assert tokens[0].kind == "define" and tokens[0].value == ("N", 32)
+    assert tokens[1].kind == "pragma" and tokens[1].value == "ivdep"
+
+
+def test_unknown_pragma_rejected():
+    with pytest.raises(StencilSyntaxError, match="unsupported pragma"):
+        tokenize("#pragma omp parallel\n")
+
+
+def test_unexpected_character_reports_position():
+    with pytest.raises(StencilSyntaxError) as info:
+        tokenize("a = b ? c : d;")
+    assert info.value.line == 1
+    assert info.value.column == 7
+    assert "^" in info.value.pretty()
+
+
+def test_unterminated_comment():
+    with pytest.raises(StencilSyntaxError, match="unterminated comment"):
+        tokenize("a /* never closed")

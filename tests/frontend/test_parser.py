@@ -1,0 +1,87 @@
+"""Tests for the front end parser: structure recovery and syntax errors."""
+
+import pytest
+
+from repro.frontend.ast import CAssign, CBinary, CFor, CNumber
+from repro.frontend.errors import StencilSyntaxError
+from repro.frontend.parser import parse_source
+from repro.stencils.library import jacobi_2d_source
+
+
+def test_parses_figure1_jacobi():
+    program = parse_source(jacobi_2d_source())
+    loop = program.time_loop
+    assert loop.var == "t"
+    assert isinstance(loop.lower, CNumber) and loop.lower.value == 0
+    (i_loop,) = loop.body
+    assert isinstance(i_loop, CFor) and i_loop.var == "i"
+    (j_loop,) = i_loop.body
+    assert isinstance(j_loop, CFor) and j_loop.var == "j"
+    assert j_loop.ivdep  # the #pragma ivdep of Figure 1
+    (assign,) = j_loop.body
+    assert isinstance(assign, CAssign)
+    assert assign.target.name == "A"
+    assert len(assign.target.subscripts) == 3
+
+
+def test_parses_defines_decls_and_name_comment():
+    program = parse_source(
+        "/* my_stencil */\n"
+        "#define T 8\n#define N 32\n"
+        "float A[2][N][N];\n"
+        "for (t = 0; t < T; t++)\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "    for (j = 1; j < N - 1; j++)\n"
+        "      A[t][i][j] = A[t-1][i][j];\n"
+    )
+    assert program.name_hint == "my_stencil"
+    assert program.defines == {"T": 8, "N": 32}
+    (decl,) = program.decls
+    assert decl.name == "A" and len(decl.extents) == 3
+
+
+def test_expression_precedence():
+    program = parse_source(
+        "for (t = 0; t < 4; t++)\n"
+        "  for (i = 1; i < 15; i++)\n"
+        "    A[t][i] = A[t-1][i] + A[t-1][i-1] * 2.0f;\n"
+    )
+    (nest,) = program.time_loop.body
+    (assign,) = nest.body
+    assert isinstance(assign.value, CBinary) and assign.value.op == "+"
+    assert isinstance(assign.value.rhs, CBinary) and assign.value.rhs.op == "*"
+
+
+@pytest.mark.parametrize(
+    "source, pattern",
+    [
+        ("for (t = 0; t < T; t--)", "expected 't\\+\\+'"),
+        ("for (t = 0; t > T; t++) x;", "only 'var < bound'"),
+        ("for (t = 0; i < T; t++) x;", "loop condition tests"),
+        ("for (t = 0; t < T; t++) { A[t][i] = 1.0f; ", "unterminated '{' block"),
+        ("for (t = 0; t < T; t++) A[t][i] = ;", "expected an expression"),
+        ("for (t = 0; t < T; t++) A[t][i] = 1.0f", "expected ';'"),
+        ("x = 1;", "expected '#define', a declaration or the time loop"),
+        ("#define N 32\n", "no time loop found"),
+        ("for (t = 0; t < T; t += 2) x;", "unit-stride"),
+    ],
+)
+def test_syntax_errors(source, pattern):
+    with pytest.raises(StencilSyntaxError, match=pattern):
+        parse_source(source)
+
+
+def test_syntax_error_carries_caret_snippet():
+    source = (
+        "for (t = 0; t < T; t++)\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "    A[t][i] = A[t-1][i] +;\n"
+    )
+    with pytest.raises(StencilSyntaxError) as info:
+        parse_source(source)
+    error = info.value
+    assert error.line == 3
+    assert error.column == 26
+    pretty = error.pretty()
+    assert "A[t-1][i] +;" in pretty
+    assert pretty.splitlines()[-1].strip() == "^"

@@ -99,6 +99,19 @@ def test_invalid_program_construction():
 def test_c_source_generation():
     program = get_stencil("laplacian_2d", sizes=(16, 16), steps=4)
     source = program.c_source()
-    assert "for" in source and "A_new" in source
+    assert "for" in source
+    assert "#define N0 16" in source and "#define T 4" in source
+    assert "A[t][i][j]" in source and "A[t-1]" in source
+    assert "#pragma ivdep" in source
     jacobi = get_stencil("jacobi_2d", sizes=(16, 16), steps=4)
     assert "0.2f" in jacobi.c_source()   # Figure 1 source is preserved
+
+
+def test_c_source_roundtrips_through_frontend():
+    from repro.frontend import parse_stencil
+
+    program = get_stencil("laplacian_2d", sizes=(16, 16), steps=4)
+    parsed = parse_stencil(program.c_source())
+    assert parsed.sizes == program.sizes
+    assert parsed.time_steps == program.time_steps
+    assert parsed.statements[0].expr == program.statements[0].expr

@@ -83,3 +83,12 @@ def test_definitions_have_descriptions():
         definition = get_definition(name)
         assert definition.description
         assert definition.dimensions in (1, 2, 3)
+
+
+def test_get_stencil_rejects_mismatched_sizes():
+    with pytest.raises(ValueError, match="1-D but 2 sizes"):
+        get_stencil("jacobi_1d", sizes=(16, 16))
+    with pytest.raises(ValueError, match="3-D but 2 sizes"):
+        get_stencil("heat_3d", sizes=(16, 16))
+    with pytest.raises(ValueError, match="2-D but 1 sizes"):
+        get_stencil("jacobi_2d", sizes=(16,))

@@ -40,3 +40,82 @@ def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+def test_validate_command_derives_dimensionality_from_registry(capsys):
+    # 1-D stencils used to be hardcoded by name; the dimensionality now comes
+    # from the registry, so any registered stencil validates correctly.
+    code = main(["validate", "higher_order_time", "--size", "24", "--steps", "4",
+                 "--h", "1", "--widths", "6"])
+    assert code == 0
+    assert "matches the NumPy reference" in capsys.readouterr().out
+
+
+def test_compile_file_command(tmp_path, capsys):
+    path = tmp_path / "blur.c"
+    path.write_text(
+        "/* blur_1d */\n"
+        "#define T 8\n#define N 128\n"
+        "for (t = 0; t < T; t++)\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "    A[t][i] = 0.25f * (A[t-1][i-1] + A[t-1][i+1]) + 0.5f * A[t-1][i];\n"
+    )
+    code = main(["compile-file", str(path), "--h", "2", "--widths", "8"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "blur_1d" in output
+    assert "GStencils/s" in output
+
+
+def test_compile_file_show_cuda(tmp_path, capsys):
+    path = tmp_path / "blur.c"
+    path.write_text(
+        "#define T 4\n#define N 64\n"
+        "for (t = 0; t < T; t++)\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "    A[t][i] = 0.5f * (A[t-1][i-1] + A[t-1][i+1]);\n"
+    )
+    code = main(["compile-file", str(path), "--show-cuda", "--h", "1", "--widths", "4"])
+    assert code == 0
+    assert "__global__" in capsys.readouterr().out
+
+
+def test_validate_file_command(tmp_path, capsys):
+    path = tmp_path / "jacobi.c"
+    path.write_text(
+        "for (t = 0; t < T; t++)\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "#pragma ivdep\n"
+        "    for (j = 1; j < N - 1; j++)\n"
+        "      A[(t+1)%2][i][j] = 0.2f * (A[t%2][i][j] + A[t%2][i+1][j] +\n"
+        "        A[t%2][i-1][j] + A[t%2][i][j+1] + A[t%2][i][j-1]);\n"
+    )
+    code = main(["validate-file", str(path), "--sizes", "14,14", "--steps", "5",
+                 "--h", "1", "--widths", "2,4"])
+    assert code == 0
+    assert "matches the NumPy reference" in capsys.readouterr().out
+
+
+def test_compile_file_reports_parse_errors_with_caret(tmp_path, capsys):
+    path = tmp_path / "bad.c"
+    path.write_text(
+        "#define T 4\n#define N 16\n"
+        "for (t = 0; t < T; t++)\n"
+        "  for (i = 1; i < N - 1; i++)\n"
+        "    A[t][i*i] = A[t-1][i];\n"
+    )
+    code = main(["compile-file", str(path)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "bad.c:5:" in err
+    assert "non-affine subscript" in err
+    assert "^" in err
+
+
+def test_example_custom_stencil_file_compiles(capsys):
+    import pathlib
+
+    example = pathlib.Path(__file__).resolve().parent.parent / "examples" / "custom_stencil.c"
+    code = main(["compile-file", str(example), "--h", "2", "--widths", "4,32"])
+    assert code == 0
+    assert "edge_diffusion_2d" in capsys.readouterr().out
