@@ -5,6 +5,11 @@ pytest-benchmark.  The expensive experiment functions are executed once per
 benchmark (``rounds=1``) because they are analytic (deterministic) rather than
 noisy measurements; pytest-benchmark still records their running time so the
 harness doubles as a performance regression check for the compiler itself.
+
+Each run additionally persists the measured timings as a schema-versioned
+``BENCH_pytest.json`` (see :mod:`repro.bench.schema`) next to this file, so
+the pytest-benchmark numbers can be diffed across commits with
+``python -m repro.bench.compare`` exactly like the ``hexcc bench`` reports.
 """
 
 from __future__ import annotations
@@ -21,3 +26,26 @@ if str(SRC) not in sys.path:
 def run_once(benchmark, function, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the collected pytest-benchmark timings as BENCH_pytest.json."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    from repro.bench.schema import make_report, save_report, timing_entry
+
+    stencils = {}
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        stencils[bench.name] = {
+            "wall_s": timing_entry(list(stats.data) or [stats.median]),
+            "counters": {},
+            "meta": {"fullname": bench.fullname, "group": bench.group},
+        }
+    if not stencils:
+        return
+    report = make_report({"pytest": stencils}, quick=False, repeats=1)
+    save_report(report, Path(__file__).parent / "BENCH_pytest.json")

@@ -5,8 +5,6 @@ construction, validation and functional simulation — so regressions in the
 polyhedral substrate show up here.
 """
 
-import pytest
-
 from repro.compiler import HybridCompiler
 from repro.model.preprocess import canonicalize
 from repro.stencils import get_stencil

@@ -1,0 +1,199 @@
+"""The harness behind ``hexcc bench``.
+
+Two suites measure the cost of this reproduction's own machinery:
+
+* **compile** — the full :class:`~repro.compiler.HybridCompiler` pipeline on
+  every stencil at its paper-scale problem size, with model-selected tile
+  sizes.  Each repeat uses a fresh compiler so the compiled-schedule cache
+  does not short-circuit the measurement.  The recorded counters are the
+  analytic execution estimate (deterministic for a given code state).
+* **simulate** — exhaustive schedule validation plus functional simulation
+  on small problem instances (the same configuration the test suite uses).
+  The recorded counters are the simulator's exact counters.
+
+Wall times are wall-clock and therefore machine-dependent; counters are
+deterministic and double as a semantic fingerprint of the pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.bench.schema import make_report, timing_entry
+
+# Stencils exercised by ``--quick`` (CI): the Figure-1 stencil, a dense 2-D
+# stencil, the multi-statement kernel, one 3-D stencil and the 1-D case.
+QUICK_STENCILS = ("jacobi_1d", "jacobi_2d", "heat_2d", "fdtd_2d", "laplacian_3d")
+
+# Small problem instances used by the simulate suite, by dimensionality:
+# (sizes, time steps).  Chosen to match the scale of the test suite so the
+# exhaustive validator stays fast.
+_SIMULATE_INSTANCES: dict[int, tuple[tuple[int, ...], int]] = {
+    1: ((128,), 16),
+    2: ((16, 16), 6),
+    3: ((10, 10, 10), 4),
+}
+
+
+@dataclass(frozen=True)
+class BenchOptions:
+    """What ``hexcc bench`` should run."""
+
+    suites: tuple[str, ...] = ("compile", "simulate")
+    quick: bool = False
+    repeats: int | None = None  # per-suite default when None
+    stencils: tuple[str, ...] | None = None  # library selection when None
+
+    def effective_repeats(self) -> int:
+        if self.repeats is not None:
+            return max(1, self.repeats)
+        return 3 if self.quick else 5
+
+    def effective_stencils(self) -> tuple[str, ...]:
+        from repro.stencils import list_stencils
+
+        if self.stencils is not None:
+            return self.stencils
+        if self.quick:
+            return QUICK_STENCILS
+        return tuple(list_stencils())
+
+
+def _counters_dict(counters: Any) -> dict[str, float]:
+    return {name: float(value) for name, value in asdict(counters).items()}
+
+
+def _time_call(function) -> tuple[float, Any]:
+    start = time.perf_counter()
+    result = function()
+    return time.perf_counter() - start, result
+
+
+def run_compile_suite(
+    stencils: Iterable[str], repeats: int
+) -> dict[str, dict[str, Any]]:
+    """Time the full compilation pipeline at paper scale, per stencil."""
+    from repro.compiler import HybridCompiler
+    from repro.stencils import get_stencil
+
+    results: dict[str, dict[str, Any]] = {}
+    for name in stencils:
+        program = get_stencil(name)
+        HybridCompiler().compile(program)  # warmup: process-wide caches, page-in
+        runs: list[float] = []
+        result = None
+        for _ in range(repeats):
+            compiler = HybridCompiler()
+            elapsed, result = _time_call(lambda: compiler.compile(program))
+            runs.append(elapsed)
+        estimate = result.execution_estimate()
+        results[name] = {
+            "wall_s": timing_entry(runs),
+            "counters": _counters_dict(estimate.counters),
+            "meta": {
+                "sizes": list(program.sizes),
+                "steps": program.time_steps,
+                "tile_sizes": {
+                    "h": result.tiling.sizes.height,
+                    "w": list(result.tiling.sizes.widths),
+                },
+                "config": result.config.label,
+            },
+        }
+    return results
+
+
+def run_simulate_suite(
+    stencils: Iterable[str], repeats: int
+) -> dict[str, dict[str, Any]]:
+    """Time exhaustive validation + functional simulation on small instances."""
+    from repro.compiler import HybridCompiler
+    from repro.stencils import get_definition, get_stencil
+
+    results: dict[str, dict[str, Any]] = {}
+    for name in stencils:
+        definition = get_definition(name)
+        sizes, steps = _SIMULATE_INSTANCES[definition.dimensions]
+        program = get_stencil(name, sizes=sizes, steps=steps)
+        compiled = HybridCompiler().compile(program)
+
+        # Warmup: the first validate/simulate populates the point-enumeration
+        # and assignment memos (~3x slower than steady state); the gate should
+        # measure the stable, deterministic warm path.
+        report = compiled.validate()
+        if not report.ok:
+            raise RuntimeError(f"{name}: schedule validation failed: {report}")
+        compiled.simulate(seed=0)
+
+        validate_runs: list[float] = []
+        simulate_runs: list[float] = []
+        total_runs: list[float] = []
+        simulation = None
+        for _ in range(repeats):
+            elapsed_validate, report = _time_call(compiled.validate)
+            if not report.ok:
+                raise RuntimeError(f"{name}: schedule validation failed: {report}")
+            elapsed_simulate, simulation = _time_call(
+                lambda: compiled.simulate(seed=0)
+            )
+            validate_runs.append(elapsed_validate)
+            simulate_runs.append(elapsed_simulate)
+            total_runs.append(elapsed_validate + elapsed_simulate)
+        results[name] = {
+            "wall_s": timing_entry(total_runs),
+            "stages": {
+                "validate_s": timing_entry(validate_runs),
+                "simulate_s": timing_entry(simulate_runs),
+            },
+            "counters": _counters_dict(simulation.counters),
+            "meta": {
+                "sizes": list(sizes),
+                "steps": steps,
+                "tiles_executed": simulation.tiles_executed,
+                "full_tiles": simulation.full_tiles,
+                "partial_tiles": simulation.partial_tiles,
+            },
+        }
+    return results
+
+
+def run_bench(options: BenchOptions) -> dict[str, Any]:
+    """Run the requested suites and return a schema-valid report."""
+    unknown = [s for s in options.suites if s not in ("compile", "simulate")]
+    if unknown:
+        raise ValueError(f"unknown bench suites {unknown}; know compile, simulate")
+    repeats = options.effective_repeats()
+    stencils = options.effective_stencils()
+    suites: dict[str, dict[str, Any]] = {}
+    if "compile" in options.suites:
+        suites["compile"] = run_compile_suite(stencils, repeats)
+    if "simulate" in options.suites:
+        suites["simulate"] = run_simulate_suite(stencils, repeats)
+    return make_report(suites, quick=options.quick, repeats=repeats)
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """A short human-readable table of one report (for the CLI)."""
+    lines: list[str] = []
+    for suite_name, suite in report["suites"].items():
+        lines.append(f"{suite_name} suite ({report['repeats']} repeats):")
+        for stencil, entry in sorted(suite["stencils"].items()):
+            wall = entry["wall_s"]
+            lines.append(
+                f"  {stencil:20s} median {wall['median'] * 1e3:9.3f} ms"
+                f"  min {wall['min'] * 1e3:9.3f} ms"
+            )
+    return "\n".join(lines)
+
+
+def select_stencils(names: Sequence[str]) -> tuple[str, ...]:
+    """Validate a user-provided stencil list against the registry."""
+    from repro.stencils import list_stencils
+
+    known = set(list_stencils())
+    bad = [n for n in names if n not in known]
+    if bad:
+        raise ValueError(f"unknown stencils {bad}; known: {sorted(known)}")
+    return tuple(names)

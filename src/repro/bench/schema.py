@@ -1,0 +1,156 @@
+"""The versioned ``BENCH_*.json`` report format.
+
+A report is a plain JSON document:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "kind": "hexcc-bench",
+      "created": "2026-07-30T12:00:00+00:00",
+      "quick": true,
+      "repeats": 3,
+      "environment": {"python": "...", "numpy": "...", ...},
+      "suites": {
+        "compile": {
+          "stencils": {
+            "heat_3d": {
+              "wall_s": {"median": 0.004, "min": 0.004, "runs": [...]},
+              "counters": {"flops": 1.2e11, ...},
+              "meta": {"sizes": [384, 384, 384], "steps": 128, ...}
+            }
+          }
+        },
+        "simulate": {"stencils": {...}}
+      }
+    }
+
+Wall times are measured and therefore environment-dependent; the counters
+are analytic (compile suite) or exact (simulate suite) and must not drift
+between runs on the same code.  :func:`validate_report` checks the
+structural invariants the comparator relies on, so schema errors surface
+with a clear message instead of a ``KeyError`` deep inside the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+from statistics import median
+from typing import Any, Mapping, Sequence
+
+SCHEMA_VERSION = 1
+REPORT_KIND = "hexcc-bench"
+
+
+class SchemaError(ValueError):
+    """A report does not conform to the ``BENCH_*.json`` schema."""
+
+
+def environment_metadata() -> dict[str, Any]:
+    """Metadata identifying the machine and software stack of a run."""
+    import numpy
+
+    import repro
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy.__version__,
+        "repro": repro.__version__,
+    }
+
+
+def timing_entry(runs: Sequence[float]) -> dict[str, Any]:
+    """Summary statistics of one measured stage (seconds)."""
+    if not runs:
+        raise SchemaError("a timing entry needs at least one run")
+    values = [float(r) for r in runs]
+    return {
+        "median": median(values),
+        "min": min(values),
+        "max": max(values),
+        "runs": values,
+    }
+
+
+def make_report(
+    suites: Mapping[str, Mapping[str, Any]],
+    quick: bool,
+    repeats: int,
+) -> dict[str, Any]:
+    """Assemble a full report from per-suite stencil results."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": bool(quick),
+        "repeats": int(repeats),
+        "environment": environment_metadata(),
+        "suites": {
+            name: {"stencils": dict(stencils)} for name, stencils in suites.items()
+        },
+    }
+
+
+def validate_report(report: Mapping[str, Any]) -> None:
+    """Raise :class:`SchemaError` unless ``report`` is structurally valid."""
+    if not isinstance(report, Mapping):
+        raise SchemaError("report must be a JSON object")
+    kind = report.get("kind")
+    if kind != REPORT_KIND:
+        raise SchemaError(f"unexpected report kind {kind!r}; want {REPORT_KIND!r}")
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema_version {version!r}; this build reads "
+            f"version {SCHEMA_VERSION}"
+        )
+    suites = report.get("suites")
+    if not isinstance(suites, Mapping) or not suites:
+        raise SchemaError("report has no suites")
+    for suite_name, suite in suites.items():
+        stencils = suite.get("stencils") if isinstance(suite, Mapping) else None
+        if not isinstance(stencils, Mapping):
+            raise SchemaError(f"suite {suite_name!r} has no stencils mapping")
+        for stencil_name, entry in stencils.items():
+            if not isinstance(entry, Mapping):
+                raise SchemaError(
+                    f"{suite_name}/{stencil_name} is not a JSON object"
+                )
+            wall = entry.get("wall_s")
+            if not isinstance(wall, Mapping) or "median" not in wall:
+                raise SchemaError(
+                    f"{suite_name}/{stencil_name} lacks a wall_s.median timing"
+                )
+            if not isinstance(wall["median"], (int, float)):
+                raise SchemaError(
+                    f"{suite_name}/{stencil_name} wall_s.median is not a number"
+                )
+            counters = entry.get("counters", {})
+            if not isinstance(counters, Mapping):
+                raise SchemaError(
+                    f"{suite_name}/{stencil_name} counters is not a JSON object"
+                )
+
+
+def save_report(report: Mapping[str, Any], path: str | Path) -> Path:
+    """Validate and write a report; returns the written path."""
+    validate_report(report)
+    destination = Path(path)
+    destination.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return destination
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Read and validate a report from disk."""
+    try:
+        report = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise SchemaError(f"{path}: not valid JSON: {error}") from error
+    validate_report(report)
+    return report

@@ -11,6 +11,8 @@ Examples
     hexcc validate-file examples/custom_stencil.c --sizes 16,16 --steps 6
     hexcc table 1          # regenerate Table 1 (GTX 470 comparison)
     hexcc table 4          # regenerate Table 4 (heat 3D ablation)
+    hexcc bench --quick --json bench_out.json   # performance report (CI)
+    hexcc bench            # writes BENCH_compile.json / BENCH_simulate.json
 """
 
 from __future__ import annotations
@@ -121,6 +123,43 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import BenchOptions, run_bench, save_report
+    from repro.bench.runner import format_report, select_stencils
+
+    suites = ("compile", "simulate") if args.suite == "all" else (args.suite,)
+    try:
+        stencils = (
+            select_stencils(args.stencils.split(",")) if args.stencils else None
+        )
+        report = run_bench(
+            BenchOptions(
+                suites=suites,
+                quick=args.quick,
+                repeats=args.repeats,
+                stencils=stencils,
+            )
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+
+    if args.json is not None:
+        path = save_report(report, args.json)
+        print(f"wrote {path}")
+        return 0
+    out_dir = Path(args.out_dir)
+    for suite_name, suite in report["suites"].items():
+        single = dict(report)
+        single["suites"] = {suite_name: suite}
+        path = save_report(single, out_dir / f"BENCH_{suite_name}.json")
+        print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hexcc",
@@ -178,6 +217,36 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser = sub.add_parser("table", help="regenerate one of the paper's tables")
     table_parser.add_argument("number", type=int)
     table_parser.set_defaults(func=_cmd_table)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="measure the compiler's own performance and emit BENCH_*.json",
+    )
+    bench_parser.add_argument(
+        "--suite", choices=("compile", "simulate", "all"), default="all",
+        help="which suite(s) to run (default: all)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI mode: representative stencil subset, fewer repeats",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="measurement repeats per stencil (default: 3 quick, 5 full)",
+    )
+    bench_parser.add_argument(
+        "--stencils", default=None,
+        help="comma separated stencil names (default: suite selection)",
+    )
+    bench_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write one combined report to PATH instead of BENCH_<suite>.json",
+    )
+    bench_parser.add_argument(
+        "--out-dir", default=".",
+        help="directory for the per-suite BENCH_*.json files (default: .)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
     return parser
 
 

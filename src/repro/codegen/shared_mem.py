@@ -20,7 +20,6 @@ builds on.  On top of the box the plan captures the paper's refinements:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
 
 from repro.model.program import StencilProgram
 from repro.pipeline import OptimizationConfig

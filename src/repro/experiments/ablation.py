@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.compiler import HybridCompiler
 from repro.experiments.paper_data import PAPER_TABLE4, PAPER_TABLE5, PAPER_TILE_SIZES
 from repro.gpu.device import GPUDevice, GTX470, NVS5200M
-from repro.pipeline import OptimizationConfig, table4_configurations
+from repro.pipeline import table4_configurations
 from repro.stencils import get_stencil
 from repro.tiling.hybrid import TileSizes
 

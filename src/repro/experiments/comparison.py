@@ -11,7 +11,7 @@ from repro.experiments.paper_data import (
     PAPER_TABLE2_NVS5200,
     PAPER_TILE_SIZES,
 )
-from repro.gpu.device import GPUDevice, GTX470, NVS5200M
+from repro.gpu.device import GPUDevice, GTX470
 from repro.stencils import get_stencil, paper_benchmarks
 
 TOOLS = ("ppcg", "par4all", "overtile", "hybrid")

@@ -17,21 +17,62 @@ purposes:
 
 It is deliberately an *interpreter*: it runs the small problem sizes used in
 tests, while the paper-scale experiments use the analytic profiler.
+
+Two execution modes are available.  The default **batch** mode vectorises
+each barrier step (all points of one tile column sharing the same ``t'``)
+into NumPy array operations; because those points execute in parallel on the
+GPU — the legality checker proves no dependence connects them — elementwise
+float32 evaluation of the same expression tree is bit-for-bit identical to
+the per-point **scalar** mode, which remains available as the reference path
+(``FunctionalSimulator(..., batch=False)``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.codegen.shared_mem import SharedMemoryPlan
 from repro.gpu.counters import PerformanceCounters
-from repro.model.expr import FieldRead
+from repro.model.expr import Call, FieldRead, walk
 from repro.model.program import StencilProgram
 from repro.pipeline import OptimizationConfig
 from repro.tiling.hybrid import HybridTiling, SchedulePoint, TileCoordinate
+
+# Intrinsics whose evaluation is elementwise-safe on NumPy arrays.  fminf and
+# fmaxf evaluate through the Python builtins min/max, which reject arrays, so
+# programs using them fall back to the scalar interpreter.
+_BATCH_SAFE_CALLS = frozenset({"sqrtf", "sqrt", "fabsf", "fabs", "expf"})
+
+
+def _program_batchable(program: StencilProgram) -> bool:
+    """Whether every statement of the program can execute vectorised.
+
+    Requires all intrinsics to be elementwise-safe on arrays and no statement
+    to read its own target within the same time iteration (``time_offset ==
+    0`` on the write target would alias a batched barrier step).
+    """
+    for statement in program.statements:
+        for node in walk(statement.expr):
+            if isinstance(node, Call) and node.name not in _BATCH_SAFE_CALLS:
+                return False
+        for read in statement.reads:
+            if read.time_offset == 0 and read.field == statement.target:
+                return False
+    return True
+
+
+def _encode_locations(
+    index: tuple[np.ndarray, ...], sizes: Sequence[int]
+) -> np.ndarray:
+    """Injective integer encoding of grid locations (see `_run_tile_batch`)."""
+    linear = index[0] + sizes[0]
+    for axis in range(1, len(index)):
+        extent = sizes[axis]
+        linear = linear * (2 * extent) + (index[axis] + extent)
+    return linear
 
 
 class SimulationError(RuntimeError):
@@ -69,11 +110,13 @@ class FunctionalSimulator:
         tiling: HybridTiling,
         plan: SharedMemoryPlan | None = None,
         config: OptimizationConfig | None = None,
+        batch: bool = True,
     ) -> None:
         self.tiling = tiling
         self.plan = plan
         self.config = config or OptimizationConfig.default()
         self.program: StencilProgram = tiling.canonical.program
+        self.batch = batch and _program_batchable(self.program)
 
     # -- main entry point ----------------------------------------------------------------
 
@@ -149,15 +192,51 @@ class FunctionalSimulator:
         counters: PerformanceCounters,
     ) -> int:
         """Execute one tile's points in intra-tile order; returns footprint size."""
+        ordered = sorted(
+            points,
+            key=lambda p: (tuple(p.tile.space_tiles[1:]), p.local_time, p.local_space),
+        )
+        if self.batch:
+            footprint, distinct_loads, reads_performed = self._run_tile_batch(
+                ordered, state, counters
+            )
+        else:
+            footprint, distinct_loads, reads_performed = self._run_tile_scalar(
+                ordered, state, counters
+            )
+
+        counters.shared_load_requests += reads_performed / 32.0
+        counters.shared_load_transactions += reads_performed / 32.0
+        if self.config.use_shared_memory:
+            # Each distinct (field, version, element) is staged once per tile.
+            counters.gld_instructions += distinct_loads
+            counters.requested_global_bytes += 4.0 * distinct_loads
+            counters.transferred_global_bytes += 4.0 * distinct_loads
+        else:
+            # Without shared memory every read is a global load instruction.
+            counters.gld_instructions += reads_performed
+            counters.requested_global_bytes += 4.0 * reads_performed
+            counters.transferred_global_bytes += 4.0 * distinct_loads
+        counters.dram_write_transactions += len(ordered) * 4.0 / 32.0
+        counters.dram_read_transactions += distinct_loads * 4.0 / 32.0
+
+        return footprint
+
+    def _run_tile_scalar(
+        self,
+        ordered: list[SchedulePoint],
+        state: dict[str, list[np.ndarray]],
+        counters: PerformanceCounters,
+    ) -> tuple[int, int, int]:
+        """Reference interpretation: one point at a time, in intra-tile order.
+
+        Returns ``(footprint_elements, distinct_loads, reads_performed)``.
+        """
         program = self.program
         touched: set[tuple[str, tuple[int, ...]]] = set()
         loads_from_global: set[tuple[str, int, tuple[int, ...]]] = set()
         reads_performed = 0
 
-        ordered = sorted(
-            points,
-            key=lambda p: (tuple(p.tile.space_tiles[1:]), p.local_time, p.local_space),
-        )
         for point in ordered:
             statement_index, t, spatial = self.tiling.canonical.from_canonical(
                 point.canonical_point
@@ -174,8 +253,6 @@ class FunctionalSimulator:
                 touched.add((access.field, location))
                 loads_from_global.add((access.field, version, location))
                 reads_performed += 1
-                counters.shared_load_requests += 1.0 / 32.0
-                counters.shared_load_transactions += 1.0 / 32.0
                 return state[access.field][version][location]
 
             value = np.float32(statement.expr.evaluate(read))
@@ -189,20 +266,95 @@ class FunctionalSimulator:
             counters.gst_instructions += 1
             counters.shared_store_requests += 1.0 / 32.0
 
-        if self.config.use_shared_memory:
-            # Each distinct (field, version, element) is staged once per tile.
-            counters.gld_instructions += len(loads_from_global)
-            counters.requested_global_bytes += 4.0 * len(loads_from_global)
-            counters.transferred_global_bytes += 4.0 * len(loads_from_global)
-        else:
-            # Without shared memory every read is a global load instruction.
-            counters.gld_instructions += reads_performed
-            counters.requested_global_bytes += 4.0 * reads_performed
-            counters.transferred_global_bytes += 4.0 * len(loads_from_global)
-        counters.dram_write_transactions += len(ordered) * 4.0 / 32.0
-        counters.dram_read_transactions += len(loads_from_global) * 4.0 / 32.0
+        footprint = len({location for _, location in touched})
+        return footprint, len(loads_from_global), reads_performed
 
-        return len({location for _, location in touched})
+    def _run_tile_batch(
+        self,
+        ordered: list[SchedulePoint],
+        state: dict[str, list[np.ndarray]],
+        counters: PerformanceCounters,
+    ) -> tuple[int, int, int]:
+        """Vectorised interpretation: one array operation per barrier step.
+
+        Points of a group (same classical tile column, same ``t'``) run in
+        parallel on the GPU — the legality checker proves no dependence
+        connects them — so evaluating the expression tree once over gathered
+        float32 arrays performs exactly the scalar association order per
+        point, elementwise, and the result is bit-for-bit identical.
+
+        Returns ``(footprint_elements, distinct_loads, reads_performed)``.
+        """
+        program = self.program
+        canonical = self.tiling.canonical
+        num_statements = canonical.num_statements
+        # Shifted mixed-radix encoding of grid locations: coordinate c of a
+        # dimension of extent S maps to c + S in base 2S, which is injective
+        # for every index NumPy would accept (c in [-S, S)), so distinct
+        # encodings correspond exactly to the scalar mode's distinct tuples.
+        sizes = program.sizes
+        reads_performed = 0
+        # (field, version) -> list of linear-location arrays, one per access.
+        staged: dict[tuple[str, int], list[np.ndarray]] = {}
+
+        coords = np.array(
+            [point.canonical_point[1:] for point in ordered], dtype=np.intp
+        )
+
+        start = 0
+        total = len(ordered)
+        while start < total:
+            first = ordered[start]
+            key = (first.tile.space_tiles[1:], first.local_time)
+            end = start + 1
+            while end < total:
+                nxt = ordered[end]
+                if (nxt.tile.space_tiles[1:], nxt.local_time) != key:
+                    break
+                end += 1
+            group = coords[start:end]
+            count = end - start
+
+            logical = first.canonical_point[0]
+            statement = program.statements[logical % num_statements]
+            t = logical // num_statements
+            columns = tuple(group[:, axis] for axis in range(group.shape[1]))
+
+            def read(access: FieldRead) -> np.ndarray:
+                nonlocal reads_performed
+                version = t + 1 - access.time_offset
+                index = tuple(
+                    column + offset
+                    for column, offset in zip(columns, access.offsets)
+                )
+                linear = _encode_locations(index, sizes)
+                staged.setdefault((access.field, version), []).append(linear)
+                reads_performed += count
+                return state[access.field][version][index]
+
+            value = statement.expr.evaluate(read)
+            state[statement.target][t + 1][columns] = np.asarray(
+                value, dtype=np.float32
+            )
+
+            counters.flops += statement.flops * count
+            counters.stencil_updates += count
+            counters.gst_instructions += count
+            counters.shared_store_requests += count / 32.0
+            start = end
+
+        distinct_loads = 0
+        all_locations: list[np.ndarray] = []
+        for chunks in staged.values():
+            merged = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+            distinct_loads += np.unique(merged).size
+            all_locations.append(merged)
+        # The footprint is the number of distinct *locations* touched by any
+        # read, regardless of field or version (matching the scalar mode).
+        footprint = (
+            np.unique(np.concatenate(all_locations)).size if all_locations else 0
+        )
+        return footprint, distinct_loads, reads_performed
 
     def _check_footprint(self, tile: TileCoordinate, footprint_elements: int) -> None:
         """The actual data touched by a full tile must fit the planned boxes."""

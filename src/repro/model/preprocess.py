@@ -78,12 +78,24 @@ class CanonicalForm:
         """Iterate over all statement instances as canonical points.
 
         Yields ``(statement_index, canonical_point)`` pairs.  Only intended
-        for the small grids used in validation and testing.
+        for the small grids used in validation and testing.  The enumeration
+        is memoised: the validator, the tile grouping and the functional
+        simulator all walk the same instance list.
         """
-        for index, scop_statement in enumerate(self.scop.statements):
-            for point in scop_statement.domain.points():
-                t, *space = point
-                yield index, self.to_canonical(index, t, space)
+        yield from self.instances_list()
+
+    def instances_list(self) -> list[tuple[int, tuple[int, ...]]]:
+        """All statement instances as a cached list; see :meth:`instances`."""
+        cached = self.__dict__.get("_instances_cache")
+        if cached is None:
+            cached = [
+                (index, self.to_canonical(index, point[0], point[1:]))
+                for index, scop_statement in enumerate(self.scop.statements)
+                for point in scop_statement.domain.points()
+            ]
+            # The dataclass is frozen; stash the memo directly in __dict__.
+            object.__setattr__(self, "_instances_cache", cached)
+        return cached
 
     # -- dependence geometry -----------------------------------------------------
 

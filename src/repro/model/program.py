@@ -15,7 +15,7 @@ validated against.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.model.program import StencilProgram, StencilStatement
 from repro.polyhedral.affine import LinearExpr

@@ -10,16 +10,22 @@ illegal schedules.
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterable, Mapping, Union
 
 Rational = Union[int, Fraction]
+
+
+@lru_cache(maxsize=512)
+def _int_fraction(value: int) -> Fraction:
+    return Fraction(value)
 
 
 def _as_fraction(value: Rational) -> Fraction:
     if isinstance(value, Fraction):
         return value
     if isinstance(value, int):
-        return Fraction(value)
+        return _int_fraction(value)
     raise TypeError(f"expected int or Fraction, got {type(value).__name__}")
 
 
@@ -31,7 +37,7 @@ class LinearExpr:
     dictionary keys.
     """
 
-    __slots__ = ("_coeffs", "_constant", "_hash")
+    __slots__ = ("_coeffs", "_constant", "_hash", "_scaled")
 
     def __init__(
         self,
@@ -47,6 +53,7 @@ class LinearExpr:
         self._coeffs: dict[str, Fraction] = cleaned
         self._constant: Fraction = _as_fraction(constant)
         self._hash: int | None = None
+        self._scaled: tuple[tuple[tuple[str, int], ...], int] | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -136,6 +143,37 @@ class LinearExpr:
             if name not in env:
                 raise KeyError(f"no value for variable {name!r}")
             total += coeff * _as_fraction(env[name])
+        return total
+
+    def scaled_integer_form(self) -> tuple[tuple[tuple[str, int], ...], int]:
+        """Integer coefficients of ``self * denominator_lcm()``, cached.
+
+        The scale factor is strictly positive, so the sign of the scaled
+        value at any point equals the sign of the exact rational value; this
+        is the basis of the integer fast path used for constraint checks.
+        """
+        cached = self._scaled
+        if cached is None:
+            lcm = self.denominator_lcm()
+            cached = (
+                tuple((name, int(value * lcm)) for name, value in self._coeffs.items()),
+                int(self._constant * lcm),
+            )
+            self._scaled = cached
+        return cached
+
+    def evaluate_scaled(self, env: Mapping[str, Rational]) -> Rational:
+        """Evaluate ``self * denominator_lcm()`` — same sign, integer math.
+
+        With integer-valued environments (the common case: membership tests
+        on integer points) this performs pure ``int`` arithmetic, avoiding
+        :class:`~fractions.Fraction` entirely.
+        """
+        coeffs, total = self.scaled_integer_form()
+        for name, coeff in coeffs:
+            if name not in env:
+                raise KeyError(f"no value for variable {name!r}")
+            total = total + coeff * env[name]
         return total
 
     def substitute(self, bindings: Mapping[str, "LinearExpr | Rational"]) -> "LinearExpr":

@@ -38,6 +38,11 @@ class BasicSet:
             if constraint.is_trivially_true():
                 continue
             self.constraints.append(constraint)
+        # Lazy caches; every mutating operation returns a new BasicSet, so
+        # results computed from the constraint system stay valid.
+        self._membership_rows: list[tuple[tuple[tuple[int, int], ...], int, bool]] | None = None
+        self._point_list: list[tuple[int, ...]] | None = None
+        self._rationally_empty: bool | None = None
 
     # -- constructors ------------------------------------------------------------
 
@@ -73,16 +78,46 @@ class BasicSet:
 
     def contains(self, point: Sequence[int] | Mapping[str, int]) -> bool:
         """Whether the integer point belongs to the set."""
-        env = self._env(point)
-        return all(c.satisfied(env) for c in self.constraints)
+        if isinstance(point, Mapping):
+            values = tuple(int(point[d]) for d in self.space.dims)
+        else:
+            if len(point) != self.space.ndim:
+                raise ValueError(
+                    f"point has {len(point)} coordinates, space has {self.space.ndim}"
+                )
+            values = tuple(int(v) for v in point)
+        for coeffs, constant, is_equality in self._compiled_rows():
+            total = constant
+            for index, coeff in coeffs:
+                total += coeff * values[index]
+            if (total != 0) if is_equality else (total < 0):
+                return False
+        return True
+
+    def _compiled_rows(self) -> list[tuple[tuple[tuple[int, int], ...], int, bool]]:
+        """Constraints as ``(((dim_index, coeff), ...), constant, is_eq)`` rows.
+
+        Coefficients come from the sign-preserving integer scaling of each
+        constraint, so membership reduces to integer dot products.
+        """
+        rows = self._membership_rows
+        if rows is None:
+            index_of = {name: i for i, name in enumerate(self.space.dims)}
+            rows = []
+            for constraint in self.constraints:
+                coeffs, constant = constraint.expr.scaled_integer_form()
+                rows.append(
+                    (
+                        tuple((index_of[name], coeff) for name, coeff in coeffs),
+                        constant,
+                        constraint.is_equality,
+                    )
+                )
+            self._membership_rows = rows
+        return rows
 
     def __contains__(self, point: Sequence[int] | Mapping[str, int]) -> bool:
         return self.contains(point)
-
-    def _env(self, point: Sequence[int] | Mapping[str, int]) -> dict[str, int]:
-        if isinstance(point, Mapping):
-            return {d: int(point[d]) for d in self.space.dims}
-        return self.space.env(point)
 
     # -- simple set algebra -------------------------------------------------------------
 
@@ -128,8 +163,10 @@ class BasicSet:
 
     def is_rationally_empty(self) -> bool:
         """Whether the rational relaxation of the set is empty."""
-        result = lp_minimize(LinearExpr.zero(), self.constraints, self.space.dims)
-        return result.status is LPStatus.INFEASIBLE
+        if self._rationally_empty is None:
+            result = lp_minimize(LinearExpr.zero(), self.constraints, self.space.dims)
+            self._rationally_empty = result.status is LPStatus.INFEASIBLE
+        return self._rationally_empty
 
     def is_empty(self, enumeration_limit: int = 200_000) -> bool:
         """Whether the set contains no integer point.
@@ -207,11 +244,21 @@ class BasicSet:
 
         Enumeration walks the bounding box dimension by dimension, narrowing
         bounds with LP as coordinates are fixed, so it is efficient for the
-        thin, skewed tile shapes that occur in hexagonal tiling.
+        thin, skewed tile shapes that occur in hexagonal tiling.  The result
+        is memoised: repeated full enumerations (validation passes, the
+        functional simulator) replay the cached point list.
         """
-        if self.is_rationally_empty():
+        if self._point_list is not None:
+            yield from self._point_list
             return
-        yield from self._enumerate([], self.constraints)
+        if self.is_rationally_empty():
+            self._point_list = []
+            return
+        collected: list[tuple[int, ...]] = []
+        for point in self._enumerate([], self.constraints):
+            collected.append(point)
+            yield point
+        self._point_list = collected
 
     def _enumerate(
         self,

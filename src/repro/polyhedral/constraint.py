@@ -58,7 +58,9 @@ class Constraint:
 
     def satisfied(self, env: Mapping[str, Rational]) -> bool:
         """Whether the constraint holds in the given environment."""
-        value = self.expr.evaluate(env)
+        # The scaled form has the same sign (and the same zero set) as the
+        # exact rational value but evaluates with plain integer arithmetic.
+        value = self.expr.evaluate_scaled(env)
         if self.is_equality:
             return value == 0
         return value >= 0

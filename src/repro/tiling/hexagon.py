@@ -91,27 +91,27 @@ class HexagonalTileShape:
     def delta1(self) -> Fraction:
         return self.cone.delta1
 
-    @property
+    @cached_property
     def floor_delta0_h(self) -> int:
         """``⌊δ0·h⌋`` — the widening of the tile towards lower ``b``."""
         return _floor(self.delta0 * self.height)
 
-    @property
+    @cached_property
     def floor_delta1_h(self) -> int:
         """``⌊δ1·h⌋`` — the widening of the tile towards higher ``b``."""
         return _floor(self.delta1 * self.height)
 
-    @property
+    @cached_property
     def time_period(self) -> int:
         """Logical time steps per (two-phase) tile row: ``2h + 2``."""
         return 2 * self.height + 2
 
-    @property
+    @cached_property
     def space_period(self) -> int:
         """Space extent per phase-0 + phase-1 tile pair along ``s0``."""
         return 2 * self.width + 2 + self.floor_delta0_h + self.floor_delta1_h
 
-    @property
+    @cached_property
     def drift(self) -> int:
         """Offset ``⌊δ1·h⌋ - ⌊δ0·h⌋`` applied per time tile (tiles "lean")."""
         return self.floor_delta1_h - self.floor_delta0_h
@@ -163,10 +163,27 @@ class HexagonalTileShape:
         """The tile as an integer set over ``(a, b)``."""
         return BasicSet(self.space, self.constraints)
 
+    @cached_property
+    def _row_ranges(self) -> tuple[range, ...]:
+        """``row_range(a)`` for every ``a`` in ``[0, 2h+1]``, precomputed once.
+
+        Membership tests run once per statement instance and phase, so the
+        exact-rational row bounds are evaluated a single time per row and the
+        per-point check reduces to two integer comparisons.
+        """
+        return tuple(
+            self._compute_row_range(a) for a in range(0, 2 * self.height + 2)
+        )
+
     def contains(self, a: int, b: int) -> bool:
-        """Whether local point ``(a, b)`` belongs to the hexagon."""
-        env = {"a": a, "b": b}
-        return all(c.satisfied(env) for c in self.constraints)
+        """Whether local point ``(a, b)`` belongs to the hexagon.
+
+        Equivalent to checking the constraints (6)-(13): (7) and (13) bound
+        ``a``, the remaining four constraints are exactly the row bounds.
+        """
+        if a < 0 or a > 2 * self.height + 1:
+            return False
+        return b in self._row_ranges[a]
 
     def points(self) -> Iterator[tuple[int, int]]:
         """All integer points of the tile, ordered by ``(a, b)``."""
@@ -178,6 +195,9 @@ class HexagonalTileShape:
         """Integer ``b`` values of the tile at local time ``a``."""
         if a < 0 or a > 2 * self.height + 1:
             return range(0)
+        return self._row_ranges[a]
+
+    def _compute_row_range(self, a: int) -> range:
         h = self.height
         w0 = self.width
         delta0 = self.delta0
@@ -203,6 +223,10 @@ class HexagonalTileShape:
         upper = min(upper_a, upper_b)
         return range(math.ceil(lower), math.floor(upper) + 1)
 
+    @cached_property
+    def _point_count(self) -> int:
+        return sum(len(rows) for rows in self._row_ranges)
+
     def count(self) -> int:
         """Number of integer points in the tile.
 
@@ -210,7 +234,7 @@ class HexagonalTileShape:
         the property that distinguishes hexagonal from diamond tiling
         (Section 2 of the paper).
         """
-        return sum(len(self.row_range(a)) for a in range(0, 2 * self.height + 2))
+        return self._point_count
 
     def row_width(self, a: int) -> int:
         """Number of points of the tile at local time ``a``."""
@@ -224,13 +248,15 @@ class HexagonalTileShape:
         """Width of the widest row of the tile."""
         return max(self.row_width(a) for a in range(0, 2 * self.height + 2))
 
+    @cached_property
+    def _bounding_box(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        lows = [rows[0] for rows in self._row_ranges if len(rows)]
+        highs = [rows[-1] for rows in self._row_ranges if len(rows)]
+        return ((0, 2 * self.height + 1), (min(lows), max(highs)))
+
     def bounding_box(self) -> tuple[tuple[int, int], tuple[int, int]]:
         """Bounding box ``((a_min, a_max), (b_min, b_max))`` of the tile."""
-        b_values = [b for a in range(0, 2 * self.height + 2) for b in self.row_range(a)]
-        return (
-            (0, 2 * self.height + 1),
-            (min(b_values), max(b_values)),
-        )
+        return self._bounding_box
 
     def __str__(self) -> str:
         return (

@@ -24,9 +24,7 @@ Execution semantics on the GPU (Section 4.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
-from functools import cached_property
-from typing import Iterator, Mapping, Sequence
+from typing import Sequence
 
 from repro.model.preprocess import CanonicalForm
 from repro.polyhedral.quasi_affine import QExpr, qvar
@@ -151,6 +149,11 @@ class HybridTiling:
             )
         self.canonical = canonical
         self.sizes = sizes
+        # Point-assignment memo: validation and simulation revisit the same
+        # canonical points many times (once as a sink, once per dependence as
+        # a source, once when grouping by tile).  Only the small grids used
+        # for validation enumerate points, so the memo stays small.
+        self._assign_cache: dict[tuple[int, ...], SchedulePoint] = {}
 
         self.cone = DependenceCone.from_distance_vectors(
             canonical.distance_vectors, dim_index=0
@@ -208,6 +211,10 @@ class HybridTiling:
 
     def assign_canonical(self, canonical_point: Sequence[int]) -> SchedulePoint:
         """Schedule coordinates of a canonical point ``(l, s0, ..., sn)``."""
+        key = tuple(canonical_point)
+        cached = self._assign_cache.get(key)
+        if cached is not None:
+            return cached
         l = canonical_point[0]
         s0 = canonical_point[1]
         hex_assignment: HexTileAssignment = self.hex_schedule.assign(l, s0)
@@ -223,13 +230,15 @@ class HybridTiling:
             space_tiles=tuple(space_tiles),
         )
         statement_index = l % self.num_statements
-        return SchedulePoint(
+        point = SchedulePoint(
             tile=tile,
             local_time=u,
             local_space=tuple(local_space),
             statement_index=statement_index,
-            canonical_point=tuple(canonical_point),
+            canonical_point=key,
         )
+        self._assign_cache[key] = point
+        return point
 
     def assign_instance(
         self, statement_index: int, t: int, point: Sequence[int]

@@ -18,8 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.model.preprocess import CanonicalForm
 from repro.tiling.cone import DependenceCone
@@ -66,6 +65,10 @@ class TileSizeModel:
             for index in range(len(canonical.space_dims))
         ]
         self._read_radii = self._compute_read_radii()
+        # The search of select_tile_sizes revisits the same (h, w0) pair for
+        # every combination of the remaining widths; the hexagonal shape (and
+        # its exact-rational row geometry) only depends on (h, w0).
+        self._shape_cache: dict[tuple[int, int], HexagonalTileShape] = {}
 
     def _compute_read_radii(self) -> dict[str, list[tuple[int, int]]]:
         """Per-field, per-dimension (negative, positive) read radii."""
@@ -83,7 +86,12 @@ class TileSizeModel:
     # -- per-tile quantities ---------------------------------------------------------------
 
     def shape(self, sizes: TileSizes) -> HexagonalTileShape:
-        return HexagonalTileShape(self.cone, sizes.height, sizes.w0)
+        key = (sizes.height, sizes.w0)
+        shape = self._shape_cache.get(key)
+        if shape is None:
+            shape = HexagonalTileShape(self.cone, sizes.height, sizes.w0)
+            self._shape_cache[key] = shape
+        return shape
 
     def iterations(self, sizes: TileSizes) -> int:
         """Statement instances per full tile (matches the formula of §3.7)."""

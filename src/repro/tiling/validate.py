@@ -22,9 +22,7 @@ Three properties are checked:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
-from repro.model.preprocess import CanonicalForm
 from repro.tiling.hybrid import HybridTiling, SchedulePoint
 
 
@@ -86,22 +84,27 @@ def check_legality(tiling: HybridTiling) -> int:
         statement.name: index
         for index, statement in enumerate(canonical.scop.statements)
     }
+    # Pre-index the dependences by their sink statement so the inner loop
+    # only visits dependences that can actually end at the current instance.
+    by_sink: dict[int, list[tuple[int, object]]] = {}
+    for dependence in canonical.dependences:
+        by_sink.setdefault(name_to_index[dependence.sink], []).append(
+            (name_to_index[dependence.source], dependence)
+        )
+    num_statements = canonical.num_statements
     checked = 0
     for _, sink_point in canonical.instances():
         sink = tiling.assign_canonical(sink_point)
-        for dependence in canonical.dependences:
-            if name_to_index[dependence.sink] != sink.statement_index:
-                continue
+        for source_index, dependence in by_sink.get(sink.statement_index, ()):
             source_point = tuple(
                 coordinate - distance
                 for coordinate, distance in zip(sink_point, dependence.distance)
             )
-            source_index = name_to_index[dependence.source]
-            if source_point[0] % canonical.num_statements != source_index:
+            if source_point[0] % num_statements != source_index:
                 # The dependence distance moves to a logical time slot that is
                 # not owned by the source statement: no instance there.
                 continue
-            source_t = source_point[0] // canonical.num_statements
+            source_t = source_point[0] // num_statements
             source_instance = (source_t, *source_point[1:])
             if not domains[source_index].contains(source_instance):
                 continue

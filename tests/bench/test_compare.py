@@ -1,0 +1,150 @@
+"""Comparator tests: regression, improvement, missing-key and CLI behaviour."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_reports, main, parse_threshold
+from repro.bench.schema import make_report, timing_entry
+
+
+def report_with(median, counters=None, stencil="heat_2d", suite="simulate"):
+    return make_report(
+        {
+            suite: {
+                stencil: {
+                    "wall_s": timing_entry([median]),
+                    "counters": counters or {"flops": 1000.0},
+                    "meta": {},
+                }
+            }
+        },
+        quick=True,
+        repeats=1,
+    )
+
+
+def test_identical_reports_ok():
+    baseline = report_with(0.1)
+    result = compare_reports(baseline, baseline)
+    assert result.ok
+    assert not result.regressions and not result.improvements
+    assert "OK" in result.summary()
+
+
+def test_regression_detected_past_threshold():
+    result = compare_reports(report_with(0.1), report_with(0.13), max_regression=0.25)
+    assert not result.ok
+    assert len(result.regressions) == 1
+    delta = result.regressions[0]
+    assert delta.stencil == "heat_2d"
+    assert delta.ratio == pytest.approx(1.3)
+    assert "REGRESSION" in result.summary()
+
+
+def test_slowdown_within_threshold_ok():
+    result = compare_reports(report_with(0.1), report_with(0.12), max_regression=0.25)
+    assert result.ok
+
+
+def test_exactly_threshold_regression_fails():
+    result = compare_reports(
+        report_with(0.1), report_with(0.1 * 1.25), max_regression=0.25
+    )
+    assert not result.ok
+
+
+def test_zero_threshold_identical_medians_ok():
+    result = compare_reports(report_with(0.1), report_with(0.1), max_regression=0.0)
+    assert result.ok
+
+
+def test_improvement_reported_not_failing():
+    result = compare_reports(report_with(0.1), report_with(0.05), max_regression=0.25)
+    assert result.ok
+    assert len(result.improvements) == 1
+
+
+def test_noise_floor_suppresses_fast_entries():
+    # 2x slower, but the baseline is below the 1 ms noise floor.
+    result = compare_reports(report_with(0.0002), report_with(0.0004))
+    assert result.ok
+
+
+def test_missing_stencil_fails():
+    baseline = make_report(
+        {
+            "simulate": {
+                "heat_2d": {"wall_s": timing_entry([0.1]), "counters": {}, "meta": {}},
+                "jacobi_2d": {"wall_s": timing_entry([0.1]), "counters": {}, "meta": {}},
+            }
+        },
+        quick=True,
+        repeats=1,
+    )
+    result = compare_reports(baseline, report_with(0.1))
+    assert not result.ok
+    assert result.missing == ["simulate/jacobi_2d"]
+
+
+def test_added_stencil_reported_ok():
+    new = make_report(
+        {
+            "simulate": {
+                "heat_2d": {"wall_s": timing_entry([0.1]), "counters": {}, "meta": {}},
+                "extra": {"wall_s": timing_entry([0.1]), "counters": {}, "meta": {}},
+            }
+        },
+        quick=True,
+        repeats=1,
+    )
+    result = compare_reports(report_with(0.1, counters={}), new)
+    assert result.ok
+    assert result.added == ["simulate/extra"]
+
+
+def test_counter_drift_reported():
+    result = compare_reports(
+        report_with(0.1, counters={"flops": 1000.0}),
+        report_with(0.1, counters={"flops": 1001.0}),
+    )
+    assert result.ok  # informational by default
+    assert len(result.counter_drifts) == 1
+    assert result.counter_drifts[0].metric == "counters.flops"
+
+
+@pytest.mark.parametrize(
+    "text,expected", [("25%", 0.25), ("0.25", 0.25), (" 10% ", 0.10), ("1.5", 1.5)]
+)
+def test_parse_threshold(text, expected):
+    assert parse_threshold(text) == pytest.approx(expected)
+
+
+def _write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    good = _write(tmp_path, "good.json", report_with(0.1))
+    bad = _write(tmp_path, "bad.json", report_with(0.2))
+    assert main([good, good, "--max-regression", "25%"]) == 0
+    assert main([good, bad, "--max-regression", "25%"]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    # a generous threshold lets the 2x slowdown through
+    assert main([good, bad, "--max-regression", "150%"]) == 0
+
+
+def test_cli_strict_counters(tmp_path):
+    old = _write(tmp_path, "old.json", report_with(0.1, counters={"flops": 1.0}))
+    new = _write(tmp_path, "new.json", report_with(0.1, counters={"flops": 2.0}))
+    assert main([old, new]) == 0
+    assert main([old, new, "--strict-counters"]) == 1
+
+
+def test_cli_rejects_malformed_report(tmp_path):
+    good = _write(tmp_path, "good.json", report_with(0.1))
+    broken = tmp_path / "broken.json"
+    broken.write_text("{}")
+    assert main([good, str(broken)]) == 2

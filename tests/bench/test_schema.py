@@ -1,0 +1,83 @@
+"""Schema round-trip and validation tests for the bench report format."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    load_report,
+    make_report,
+    save_report,
+    timing_entry,
+    validate_report,
+)
+
+
+def _minimal_suites():
+    return {
+        "compile": {
+            "jacobi_1d": {
+                "wall_s": timing_entry([0.01, 0.012, 0.011]),
+                "counters": {"flops": 123.0},
+                "meta": {"sizes": [4096], "steps": 256},
+            }
+        }
+    }
+
+
+def test_round_trip(tmp_path):
+    report = make_report(_minimal_suites(), quick=True, repeats=3)
+    path = save_report(report, tmp_path / "BENCH_compile.json")
+    loaded = load_report(path)
+    assert loaded == json.loads(json.dumps(report))
+    assert loaded["schema_version"] == SCHEMA_VERSION
+    assert loaded["kind"] == "hexcc-bench"
+    assert loaded["quick"] is True
+    assert loaded["repeats"] == 3
+    entry = loaded["suites"]["compile"]["stencils"]["jacobi_1d"]
+    assert entry["wall_s"]["median"] == pytest.approx(0.011)
+    assert entry["wall_s"]["min"] == pytest.approx(0.01)
+    assert entry["counters"]["flops"] == 123.0
+
+
+def test_environment_metadata_recorded():
+    report = make_report(_minimal_suites(), quick=False, repeats=5)
+    environment = report["environment"]
+    for key in ("python", "platform", "numpy", "repro", "machine"):
+        assert key in environment and environment[key]
+    assert report["created"]  # ISO timestamp
+
+
+def test_timing_entry_requires_runs():
+    with pytest.raises(SchemaError):
+        timing_entry([])
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda r: r.update(kind="other"),
+        lambda r: r.update(schema_version=SCHEMA_VERSION + 1),
+        lambda r: r.update(suites={}),
+        lambda r: r["suites"].update(compile={}),
+        lambda r: r["suites"]["compile"]["stencils"].update(bad={}),
+        lambda r: r["suites"]["compile"]["stencils"]["jacobi_1d"].update(wall_s={}),
+        lambda r: r["suites"]["compile"]["stencils"]["jacobi_1d"].update(
+            wall_s={"median": "fast"}
+        ),
+    ],
+)
+def test_validate_rejects_malformed(mutate):
+    report = make_report(_minimal_suites(), quick=True, repeats=1)
+    mutate(report)
+    with pytest.raises(SchemaError):
+        validate_report(report)
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(SchemaError):
+        load_report(path)

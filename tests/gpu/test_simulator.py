@@ -1,7 +1,6 @@
 """Functional simulator tests: tiled execution must match the reference."""
 
 import numpy as np
-import pytest
 
 from repro.compiler import HybridCompiler
 from repro.gpu.simulator import FunctionalSimulator
