@@ -4,24 +4,33 @@ Two suites measure the cost of this reproduction's own machinery:
 
 * **compile** — the full :class:`~repro.compiler.HybridCompiler` pipeline on
   every stencil at its paper-scale problem size, with model-selected tile
-  sizes.  Each repeat uses a fresh compiler so the compiled-schedule cache
-  does not short-circuit the measurement.  The recorded counters are the
-  analytic execution estimate (deterministic for a given code state).
+  sizes.  Each repeat uses a fresh compiler so the in-memory memo does not
+  short-circuit the measurement; with a disk cache
+  (:class:`~repro.cache.DiskCache`) attached, the warmup populates or hits
+  the persistent entry and the repeats measure the steady cross-run state
+  (pass no cache to measure the raw pipeline).  The recorded counters are
+  the analytic execution estimate (deterministic for a given code state).
 * **simulate** — exhaustive schedule validation plus functional simulation
   on small problem instances (the same configuration the test suite uses).
   The recorded counters are the simulator's exact counters.
 
-Wall times are wall-clock and therefore machine-dependent; counters are
-deterministic and double as a semantic fingerprint of the pipeline.
+Both suites fan across the execution engine (:mod:`repro.engine`) when
+``jobs > 1``; results are assembled in input order, so the report content is
+identical for every job count.  Wall times are wall-clock and therefore
+machine-dependent; counters are deterministic and double as a semantic
+fingerprint of the pipeline.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass
-from typing import Any, Iterable, Sequence
+from functools import partial
+from typing import Any, Sequence
 
 from repro.bench.schema import make_report, timing_entry
+from repro.cache import DiskCache
+from repro.engine import map_ordered
 
 # Stencils exercised by ``--quick`` (CI): the Figure-1 stencil, a dense 2-D
 # stencil, the multi-statement kernel, one 3-D stencil and the 1-D case.
@@ -45,6 +54,8 @@ class BenchOptions:
     quick: bool = False
     repeats: int | None = None  # per-suite default when None
     stencils: tuple[str, ...] | None = None  # library selection when None
+    jobs: int = 1  # process-pool width; 0/None = all cores
+    disk_cache: DiskCache | None = None  # shared artefact cache, if any
 
     def effective_repeats(self) -> int:
         if self.repeats is not None:
@@ -71,91 +82,121 @@ def _time_call(function) -> tuple[float, Any]:
     return time.perf_counter() - start, result
 
 
-def run_compile_suite(
-    stencils: Iterable[str], repeats: int
-) -> dict[str, dict[str, Any]]:
-    """Time the full compilation pipeline at paper scale, per stencil."""
+def measure_compile_stencil(
+    name: str, repeats: int, disk_cache: DiskCache | None = None
+) -> tuple[str, dict[str, Any], dict[str, int]]:
+    """One compile-suite measurement (picklable; runs in engine workers).
+
+    Returns ``(stencil, report_entry, cache_counters)``.
+    """
     from repro.compiler import HybridCompiler
     from repro.stencils import get_stencil
 
-    results: dict[str, dict[str, Any]] = {}
-    for name in stencils:
-        program = get_stencil(name)
-        HybridCompiler().compile(program)  # warmup: process-wide caches, page-in
-        runs: list[float] = []
-        result = None
-        for _ in range(repeats):
-            compiler = HybridCompiler()
-            elapsed, result = _time_call(lambda: compiler.compile(program))
-            runs.append(elapsed)
-        estimate = result.execution_estimate()
-        results[name] = {
-            "wall_s": timing_entry(runs),
-            "counters": _counters_dict(estimate.counters),
-            "meta": {
-                "sizes": list(program.sizes),
-                "steps": program.time_steps,
-                "tile_sizes": {
-                    "h": result.tiling.sizes.height,
-                    "w": list(result.tiling.sizes.widths),
-                },
-                "config": result.config.label,
+    program = get_stencil(name)
+    # Warmup: process-wide caches, page-in; with a disk cache this is also
+    # the compile that populates (or hits) the persistent entry, so the
+    # measured repeats below see the steady cross-run state.
+    HybridCompiler(disk_cache=disk_cache).compile(program)
+    runs: list[float] = []
+    result = None
+    for _ in range(repeats):
+        compiler = HybridCompiler(disk_cache=disk_cache)
+        elapsed, result = _time_call(lambda: compiler.compile(program))
+        runs.append(elapsed)
+    estimate = result.execution_estimate()
+    entry = {
+        "wall_s": timing_entry(runs),
+        "counters": _counters_dict(estimate.counters),
+        "meta": {
+            "sizes": list(program.sizes),
+            "steps": program.time_steps,
+            "tile_sizes": {
+                "h": result.tiling.sizes.height,
+                "w": list(result.tiling.sizes.widths),
             },
-        }
-    return results
+            "config": result.config.label,
+        },
+    }
+    return name, entry, _flush_cache(disk_cache)
 
 
-def run_simulate_suite(
-    stencils: Iterable[str], repeats: int
-) -> dict[str, dict[str, Any]]:
-    """Time exhaustive validation + functional simulation on small instances."""
+def measure_simulate_stencil(
+    name: str, repeats: int, disk_cache: DiskCache | None = None
+) -> tuple[str, dict[str, Any], dict[str, int]]:
+    """One simulate-suite measurement (picklable; runs in engine workers)."""
     from repro.compiler import HybridCompiler
     from repro.stencils import get_definition, get_stencil
 
-    results: dict[str, dict[str, Any]] = {}
-    for name in stencils:
-        definition = get_definition(name)
-        sizes, steps = _SIMULATE_INSTANCES[definition.dimensions]
-        program = get_stencil(name, sizes=sizes, steps=steps)
-        compiled = HybridCompiler().compile(program)
+    definition = get_definition(name)
+    sizes, steps = _SIMULATE_INSTANCES[definition.dimensions]
+    program = get_stencil(name, sizes=sizes, steps=steps)
+    compiled = HybridCompiler(disk_cache=disk_cache).compile(program)
 
-        # Warmup: the first validate/simulate populates the point-enumeration
-        # and assignment memos (~3x slower than steady state); the gate should
-        # measure the stable, deterministic warm path.
-        report = compiled.validate()
+    # Warmup: the first validate/simulate populates the point-enumeration
+    # and schedule-array memos; the gate should measure the stable,
+    # deterministic warm path.
+    report = compiled.validate()
+    if not report.ok:
+        raise RuntimeError(f"{name}: schedule validation failed: {report}")
+    compiled.simulate(seed=0)
+
+    validate_runs: list[float] = []
+    simulate_runs: list[float] = []
+    total_runs: list[float] = []
+    simulation = None
+    for _ in range(repeats):
+        elapsed_validate, report = _time_call(compiled.validate)
         if not report.ok:
             raise RuntimeError(f"{name}: schedule validation failed: {report}")
-        compiled.simulate(seed=0)
+        elapsed_simulate, simulation = _time_call(lambda: compiled.simulate(seed=0))
+        validate_runs.append(elapsed_validate)
+        simulate_runs.append(elapsed_simulate)
+        total_runs.append(elapsed_validate + elapsed_simulate)
+    entry = {
+        "wall_s": timing_entry(total_runs),
+        "stages": {
+            "validate_s": timing_entry(validate_runs),
+            "simulate_s": timing_entry(simulate_runs),
+        },
+        "counters": _counters_dict(simulation.counters),
+        "meta": {
+            "sizes": list(sizes),
+            "steps": steps,
+            "tiles_executed": simulation.tiles_executed,
+            "full_tiles": simulation.full_tiles,
+            "partial_tiles": simulation.partial_tiles,
+        },
+    }
+    return name, entry, _flush_cache(disk_cache)
 
-        validate_runs: list[float] = []
-        simulate_runs: list[float] = []
-        total_runs: list[float] = []
-        simulation = None
-        for _ in range(repeats):
-            elapsed_validate, report = _time_call(compiled.validate)
-            if not report.ok:
-                raise RuntimeError(f"{name}: schedule validation failed: {report}")
-            elapsed_simulate, simulation = _time_call(
-                lambda: compiled.simulate(seed=0)
-            )
-            validate_runs.append(elapsed_validate)
-            simulate_runs.append(elapsed_simulate)
-            total_runs.append(elapsed_validate + elapsed_simulate)
-        results[name] = {
-            "wall_s": timing_entry(total_runs),
-            "stages": {
-                "validate_s": timing_entry(validate_runs),
-                "simulate_s": timing_entry(simulate_runs),
-            },
-            "counters": _counters_dict(simulation.counters),
-            "meta": {
-                "sizes": list(sizes),
-                "steps": steps,
-                "tiles_executed": simulation.tiles_executed,
-                "full_tiles": simulation.full_tiles,
-                "partial_tiles": simulation.partial_tiles,
-            },
-        }
+
+def _flush_cache(disk_cache: DiskCache | None) -> dict[str, int]:
+    """Persist and return one measurement's disk-cache counters."""
+    if disk_cache is None:
+        return {}
+    counters = {
+        "hits": disk_cache.hits,
+        "misses": disk_cache.misses,
+        "stores": disk_cache.stores,
+    }
+    disk_cache.flush_stats()
+    return counters
+
+
+def _run_suite(
+    measure,
+    stencils: Sequence[str],
+    repeats: int,
+    options: BenchOptions,
+    cache_totals: dict[str, int],
+) -> dict[str, dict[str, Any]]:
+    """Fan one suite over the engine; results assembled in input order."""
+    task = partial(measure, repeats=repeats, disk_cache=options.disk_cache)
+    results: dict[str, dict[str, Any]] = {}
+    for name, entry, cache_counters in map_ordered(task, stencils, jobs=options.jobs):
+        results[name] = entry
+        for counter, value in cache_counters.items():
+            cache_totals[counter] = cache_totals.get(counter, 0) + value
     return results
 
 
@@ -167,11 +208,21 @@ def run_bench(options: BenchOptions) -> dict[str, Any]:
     repeats = options.effective_repeats()
     stencils = options.effective_stencils()
     suites: dict[str, dict[str, Any]] = {}
+    cache_totals: dict[str, int] = {}
     if "compile" in options.suites:
-        suites["compile"] = run_compile_suite(stencils, repeats)
+        suites["compile"] = _run_suite(
+            measure_compile_stencil, stencils, repeats, options, cache_totals
+        )
     if "simulate" in options.suites:
-        suites["simulate"] = run_simulate_suite(stencils, repeats)
-    return make_report(suites, quick=options.quick, repeats=repeats)
+        suites["simulate"] = _run_suite(
+            measure_simulate_stencil, stencils, repeats, options, cache_totals
+        )
+    report = make_report(suites, quick=options.quick, repeats=repeats)
+    if options.disk_cache is not None:
+        for counter in ("hits", "misses", "stores"):
+            cache_totals.setdefault(counter, 0)
+        report["disk_cache"] = {"root": str(options.disk_cache.root), **cache_totals}
+    return report
 
 
 def format_report(report: dict[str, Any]) -> str:
@@ -185,6 +236,12 @@ def format_report(report: dict[str, Any]) -> str:
                 f"  {stencil:20s} median {wall['median'] * 1e3:9.3f} ms"
                 f"  min {wall['min'] * 1e3:9.3f} ms"
             )
+    cache = report.get("disk_cache")
+    if cache is not None:
+        lines.append(
+            f"disk cache: {cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['stores']} stores ({cache['root']})"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,242 @@
+"""A content-hash-keyed, schema-versioned on-disk artefact cache.
+
+Entries are pickled payloads wrapped in a ``(kind, schema_version, payload)``
+envelope and written atomically (temp file + ``os.replace``), so concurrent
+writers — the process-pool workers of :mod:`repro.engine` — can share one
+cache directory without locking: the worst case is the same artefact being
+compiled twice, never a torn read.
+
+Robustness rules:
+
+* a corrupt entry (truncated pickle, wrong envelope, unpicklable payload) is
+  **ignored and deleted**, never fatal;
+* an entry written by a different schema version is ignored and deleted;
+* hit/miss/store counts are kept per instance and merged (best effort) into a
+  ``stats.json`` next to the entries, so ``hexcc cache stats`` can report the
+  cumulative numbers across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Bump when the pickled artefact layout changes incompatibly; old entries
+#: are then ignored (and garbage collected) instead of being unpickled.
+SCHEMA_VERSION = 1
+
+_ENVELOPE_KIND = "hexcc-artefact"
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "HEXCC_CACHE_DIR"
+
+#: Set to a non-empty value to disable the default disk cache entirely.
+CACHE_DISABLE_ENV = "HEXCC_CACHE_DISABLE"
+
+
+def default_cache_dir() -> Path:
+    """The default on-disk cache location.
+
+    ``$HEXCC_CACHE_DIR`` when set, else ``$XDG_CACHE_HOME/hexcc``, else
+    ``~/.cache/hexcc``.
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "hexcc"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters and sizes of one cache directory."""
+
+    root: str
+    entries: int
+    bytes: int
+    hits: int
+    misses: int
+    stores: int
+    evicted: int
+
+    def describe(self) -> str:
+        lines = [
+            f"cache root : {self.root}",
+            f"entries    : {self.entries}",
+            f"size       : {self.bytes / 1024.0:.1f} KiB",
+            f"hits       : {self.hits}",
+            f"misses     : {self.misses}",
+            f"stores     : {self.stores}",
+            f"evicted    : {self.evicted}",
+        ]
+        return "\n".join(lines)
+
+
+class DiskCache:
+    """Content-addressed pickle cache rooted at one directory.
+
+    Entries live under ``<root>/v<SCHEMA_VERSION>/<key>.pkl``; the schema
+    version in the path means a layout change simply starts a fresh
+    namespace, and the version in the envelope protects against entries
+    copied across namespaces.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.entry_dir = self.root / f"v{SCHEMA_VERSION}"
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evicted = 0
+
+    @staticmethod
+    def default() -> "DiskCache | None":
+        """The default cache, or ``None`` when disabled via the environment."""
+        if os.environ.get(CACHE_DISABLE_ENV):
+            return None
+        return DiskCache()
+
+    # -- entry IO ---------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys must be lowercase hex digests, got {key!r}")
+        return self.entry_dir / f"{key}.pkl"
+
+    def get(self, key: str) -> object | None:
+        """Fetch and unpickle one entry; corrupt or stale entries are dropped."""
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            envelope = pickle.loads(blob)
+            kind, version, payload = envelope
+            if kind != _ENVELOPE_KIND or version != SCHEMA_VERSION:
+                raise ValueError(f"stale envelope {kind!r} v{version!r}")
+        except Exception:
+            # Truncated write, foreign file or stale schema: treat as a miss
+            # and garbage-collect the entry so it is not re-read forever.
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: object) -> None:
+        """Atomically write one entry (last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(
+            (_ENVELOPE_KIND, SCHEMA_VERSION, payload), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+            self.evicted += 1
+        except OSError:
+            pass
+
+    # -- maintenance ------------------------------------------------------------
+
+    def _entries(self) -> list[Path]:
+        if not self.entry_dir.is_dir():
+            return []
+        return sorted(
+            p for p in self.entry_dir.iterdir()
+            if p.suffix == ".pkl" and not p.name.startswith(".tmp-")
+        )
+
+    def clear(self) -> int:
+        """Remove every entry (all schema namespaces) and reset the stats."""
+        removed = 0
+        if self.root.is_dir():
+            for namespace in sorted(self.root.iterdir()):
+                if not namespace.is_dir() or not namespace.name.startswith("v"):
+                    continue
+                for path in sorted(namespace.iterdir()):
+                    if path.suffix == ".pkl":
+                        try:
+                            path.unlink()
+                            removed += 1
+                        except OSError:
+                            pass
+        stats_path = self.root / "stats.json"
+        try:
+            stats_path.unlink()
+        except OSError:
+            pass
+        return removed
+
+    def stats(self) -> CacheStats:
+        """Current stats: this instance's counters merged with ``stats.json``."""
+        persisted = self._read_persisted_stats()
+        entries = self._entries()
+        return CacheStats(
+            root=str(self.root),
+            entries=len(entries),
+            bytes=sum(p.stat().st_size for p in entries),
+            hits=self.hits + persisted.get("hits", 0),
+            misses=self.misses + persisted.get("misses", 0),
+            stores=self.stores + persisted.get("stores", 0),
+            evicted=self.evicted + persisted.get("evicted", 0),
+        )
+
+    # -- cross-process counters ---------------------------------------------------
+
+    def _read_persisted_stats(self) -> dict[str, int]:
+        try:
+            raw = json.loads((self.root / "stats.json").read_text())
+        except (OSError, ValueError):
+            return {}
+        return {k: int(v) for k, v in raw.items() if isinstance(v, (int, float))}
+
+    def flush_stats(self) -> None:
+        """Merge this instance's counters into ``stats.json`` (best effort).
+
+        Read-modify-write without locking: concurrent flushes may undercount,
+        which is acceptable for an informational counter.
+        """
+        if not (self.hits or self.misses or self.stores or self.evicted):
+            return
+        merged = self._read_persisted_stats()
+        for name in ("hits", "misses", "stores", "evicted"):
+            merged[name] = merged.get(name, 0) + getattr(self, name)
+        self.root.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(dir=self.root, prefix=".stats-")
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(merged, handle)
+            os.replace(temp_name, self.root / "stats.json")
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.hits = self.misses = self.stores = self.evicted = 0
+
+    def __repr__(self) -> str:
+        return f"DiskCache({str(self.root)!r})"

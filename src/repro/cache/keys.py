@@ -1,0 +1,80 @@
+"""Content-hash cache keys for compilation artefacts.
+
+A key must identify everything the pipeline output depends on: the program
+*content* (not its object identity — two sessions never share ids), the tile
+sizes, the optimisation configuration, the storage model, the thread shape,
+the target device, the artefact schema and the compiler code itself
+(:func:`code_fingerprint`).  The program content is its
+regenerated C source (:meth:`repro.model.program.StencilProgram.c_source`
+round-trips bit-for-bit through the front end), which also covers the grid
+sizes and time-step count via the ``#define`` header.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+from repro.cache.disk import SCHEMA_VERSION
+
+
+def _describe(value: object) -> str:
+    """A stable textual form of one key component."""
+    if value is None:
+        return "none"
+    return repr(value)
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """A digest of the ``repro`` package sources, computed once per process.
+
+    Every artefact is a pure function of (inputs, compiler code); hashing the
+    code into the key means editing any pipeline module naturally invalidates
+    the cache — no hand-maintained version bump, no stale artefacts (and
+    stale counters) served after a code change.
+    """
+    import repro
+
+    digest = hashlib.sha256()
+    root = Path(repro.__file__).resolve().parent
+    try:
+        sources = sorted(root.rglob("*.py"))
+        for path in sources:
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+    except OSError:
+        # Unreadable tree (unusual packaging): fall back to the version
+        # string rather than failing compilation.
+        digest.update(getattr(repro, "__version__", "unknown").encode())
+    return digest.hexdigest()
+
+
+def compilation_key(
+    program,
+    tile_sizes=None,
+    config=None,
+    storage: str = "expanded",
+    threads=None,
+    device=None,
+) -> str:
+    """SHA-256 key of one :meth:`HybridCompiler.compile` invocation."""
+    digest = hashlib.sha256()
+    parts = [
+        f"schema={SCHEMA_VERSION}",
+        f"code={code_fingerprint()}",
+        f"program-name={program.name}",
+        f"sizes={tuple(program.sizes)}",
+        f"steps={program.time_steps}",
+        f"tile-sizes={_describe(tile_sizes)}",
+        f"config={_describe(config)}",
+        f"storage={storage}",
+        f"threads={_describe(threads)}",
+        f"device={device.name if device is not None else 'none'}",
+    ]
+    digest.update("\n".join(parts).encode())
+    digest.update(b"\n--program-source--\n")
+    digest.update(program.c_source().encode())
+    return digest.hexdigest()

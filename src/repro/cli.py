@@ -10,9 +10,15 @@ Examples
     hexcc compile-file examples/custom_stencil.c --show-cuda
     hexcc validate-file examples/custom_stencil.c --sizes 16,16 --steps 6
     hexcc table 1          # regenerate Table 1 (GTX 470 comparison)
-    hexcc table 4          # regenerate Table 4 (heat 3D ablation)
+    hexcc tables --jobs 4  # regenerate Tables 1-5 across 4 processes
     hexcc bench --quick --json bench_out.json   # performance report (CI)
-    hexcc bench            # writes BENCH_compile.json / BENCH_simulate.json
+    hexcc bench --jobs 0   # fan the suites across every core
+    hexcc cache stats      # on-disk compile cache usage
+    hexcc cache clear      # drop every cached artefact
+
+Every compiling command shares a persistent on-disk artefact cache
+(``~/.cache/hexcc`` by default, override with ``$HEXCC_CACHE_DIR``, disable
+with ``$HEXCC_CACHE_DISABLE=1``), so repeated invocations skip the pipeline.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cache import DiskCache
 from repro.compiler import HybridCompiler
 from repro.frontend import FrontendError, parse_stencil_file
 from repro.gpu.device import GTX470, NVS5200M, get_device
@@ -34,6 +41,18 @@ def _parse_tile_sizes(args: argparse.Namespace) -> TileSizes | None:
     return TileSizes(args.h, widths)
 
 
+def _disk_cache(args: argparse.Namespace) -> DiskCache | None:
+    """The CLI's persistent artefact cache (honours --no-cache and the env)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return DiskCache.default()
+
+
+def _flush_cache(cache: DiskCache | None) -> None:
+    if cache is not None:
+        cache.flush_stats()
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for name in list_stencils():
         print(name)
@@ -41,8 +60,10 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _compile_and_report(program, args: argparse.Namespace) -> int:
-    compiler = HybridCompiler(get_device(args.device))
+    cache = _disk_cache(args)
+    compiler = HybridCompiler(get_device(args.device), disk_cache=cache)
     compiled = compiler.compile(program, tile_sizes=_parse_tile_sizes(args))
+    _flush_cache(cache)
     print(compiled.describe())
     print()
     print(compiled.estimate_performance().summary())
@@ -53,7 +74,11 @@ def _compile_and_report(program, args: argparse.Namespace) -> int:
 
 
 def _validate_and_report(program, args: argparse.Namespace) -> int:
-    compiled = HybridCompiler().compile(program, tile_sizes=_parse_tile_sizes(args))
+    cache = _disk_cache(args)
+    compiled = HybridCompiler(disk_cache=cache).compile(
+        program, tile_sizes=_parse_tile_sizes(args)
+    )
+    _flush_cache(cache)
     print(compiled.validate())
     compiled.simulate_and_check()
     print("functional simulation matches the NumPy reference")
@@ -95,7 +120,7 @@ def _cmd_validate_file(args: argparse.Namespace) -> int:
     return _validate_and_report(_load_stencil_file(args), args)
 
 
-def _cmd_table(args: argparse.Namespace) -> int:
+def _render_table(number: int, jobs: int, cache: DiskCache | None) -> str:
     from repro.experiments import (
         format_comparison,
         format_table3,
@@ -107,19 +132,61 @@ def _cmd_table(args: argparse.Namespace) -> int:
         table3_characteristics,
     )
 
-    if args.number == 1:
-        print(format_comparison(run_comparison(GTX470), GTX470))
-    elif args.number == 2:
-        print(format_comparison(run_comparison(NVS5200M), NVS5200M))
-    elif args.number == 3:
-        print(format_table3(table3_characteristics()))
-    elif args.number == 4:
-        print(format_table4(run_ablation()))
-    elif args.number == 5:
-        print(format_table5(run_counter_ablation()))
-    else:
-        print(f"unknown table {args.number}; the paper has tables 1-5", file=sys.stderr)
+    if number == 1:
+        return format_comparison(
+            run_comparison(GTX470, jobs=jobs, disk_cache=cache), GTX470
+        )
+    if number == 2:
+        return format_comparison(
+            run_comparison(NVS5200M, jobs=jobs, disk_cache=cache), NVS5200M
+        )
+    if number == 3:
+        return format_table3(table3_characteristics())
+    if number == 4:
+        return format_table4(run_ablation(jobs=jobs, disk_cache=cache))
+    if number == 5:
+        return format_table5(run_counter_ablation(jobs=jobs, disk_cache=cache))
+    raise ValueError(f"unknown table {number}; the paper has tables 1-5")
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    cache = _disk_cache(args)
+    try:
+        text = _render_table(args.number, args.jobs, cache)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
         return 1
+    finally:
+        _flush_cache(cache)
+    print(text)
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    numbers = args.numbers or [1, 2, 3, 4, 5]
+    cache = _disk_cache(args)
+    try:
+        for index, number in enumerate(numbers):
+            if index:
+                print()
+            print(_render_table(number, args.jobs, cache))
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    finally:
+        _flush_cache(cache)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    # Inspection and maintenance operate on the cache directory itself, so
+    # they deliberately ignore $HEXCC_CACHE_DISABLE.
+    cache = DiskCache()
+    if args.action == "stats":
+        print(cache.stats().describe())
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artefact(s) from {cache.root}")
     return 0
 
 
@@ -140,6 +207,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 quick=args.quick,
                 repeats=args.repeats,
                 stencils=stencils,
+                jobs=args.jobs,
+                disk_cache=_disk_cache(args),
             )
         )
     except ValueError as error:
@@ -175,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--h", type=int, default=2)
     compile_parser.add_argument("--widths", default=None, help="comma separated w0,w1,...")
     compile_parser.add_argument("--show-cuda", action="store_true")
+    _add_no_cache_argument(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
 
     validate_parser = sub.add_parser(
@@ -185,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser.add_argument("--steps", type=int, default=8)
     validate_parser.add_argument("--h", type=int, default=1)
     validate_parser.add_argument("--widths", default=None)
+    _add_no_cache_argument(validate_parser)
     validate_parser.set_defaults(func=_cmd_validate)
 
     compile_file_parser = sub.add_parser(
@@ -200,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
                                           "overriding the source's #defines")
     compile_file_parser.add_argument("--steps", type=int, default=None)
     compile_file_parser.add_argument("--show-cuda", action="store_true")
+    _add_no_cache_argument(compile_file_parser)
     compile_file_parser.set_defaults(func=_cmd_compile_file)
 
     validate_file_parser = sub.add_parser(
@@ -212,11 +284,32 @@ def build_parser() -> argparse.ArgumentParser:
     validate_file_parser.add_argument("--steps", type=int, default=None)
     validate_file_parser.add_argument("--h", type=int, default=1)
     validate_file_parser.add_argument("--widths", default=None)
+    _add_no_cache_argument(validate_file_parser)
     validate_file_parser.set_defaults(func=_cmd_validate_file)
 
     table_parser = sub.add_parser("table", help="regenerate one of the paper's tables")
     table_parser.add_argument("number", type=int)
+    _add_jobs_argument(table_parser)
+    _add_no_cache_argument(table_parser)
     table_parser.set_defaults(func=_cmd_table)
+
+    tables_parser = sub.add_parser(
+        "tables",
+        help="regenerate several (default: all) of the paper's tables",
+    )
+    tables_parser.add_argument(
+        "numbers", type=int, nargs="*",
+        help="table numbers to regenerate (default: 1 2 3 4 5)",
+    )
+    _add_jobs_argument(tables_parser)
+    _add_no_cache_argument(tables_parser)
+    tables_parser.set_defaults(func=_cmd_tables)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the on-disk compile cache"
+    )
+    cache_parser.add_argument("action", choices=("stats", "clear"))
+    cache_parser.set_defaults(func=_cmd_cache)
 
     bench_parser = sub.add_parser(
         "bench",
@@ -246,8 +339,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-dir", default=".",
         help="directory for the per-suite BENCH_*.json files (default: .)",
     )
+    _add_jobs_argument(bench_parser)
+    _add_no_cache_argument(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench)
     return parser
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan the work across N processes (0 = all cores; default: 1); "
+             "results are identical for every N",
+    )
+
+
+def _add_no_cache_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent on-disk compile cache",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

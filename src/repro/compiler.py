@@ -16,11 +16,13 @@ examples and benchmarks can inspect exactly what the compiler did.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
 
+from repro.cache import DiskCache, compilation_key
 from repro.codegen.analysis import AnalyticProfiler, ExecutionEstimate
 from repro.codegen.cuda import CudaCodeGenerator
 from repro.codegen.kernel_ir import CoreLoopProfile, analyze_core_loop
@@ -116,26 +118,42 @@ class CompilationResult:
 class HybridCompiler:
     """Compile stencil programs with hybrid hexagonal/classical tiling.
 
-    Compilation results are memoised per compiler instance, keyed by the
-    program (by identity), the tile sizes and the remaining pipeline options.
-    The pipeline is deterministic and every artefact is derived from that
-    key, so repeated compilations — benchmark loops, the experiment drivers
-    recompiling the same stencil per configuration — return the cached
-    :class:`CompilationResult` immediately.
+    Two cache layers sit in front of the pipeline:
+
+    * an **in-memory LRU** per compiler instance, keyed by the program (by
+      identity), the tile sizes and the remaining pipeline options — hits
+      refresh the entry's recency, evictions drop the least recently *used*
+      entry;
+    * an optional **on-disk cache** (:class:`repro.cache.DiskCache`), keyed
+      by a content hash of the program source and every pipeline option, so
+      separate processes and separate runs share compiled artefacts.  Pass
+      ``disk_cache=DiskCache.default()`` (what the ``hexcc`` CLI does) to
+      enable it.
+
+    The pipeline is deterministic and every artefact is derived from the
+    key, so cached results are indistinguishable from fresh compilations.
     """
 
     #: Maximum number of memoised compilations per compiler instance.
     CACHE_CAPACITY = 64
 
-    def __init__(self, device: GPUDevice = GTX470) -> None:
+    def __init__(
+        self,
+        device: GPUDevice = GTX470,
+        disk_cache: DiskCache | None = None,
+    ) -> None:
         self.device = device
-        # Keyed by (id(program), tile_sizes, config, storage, threads); the
-        # cached CompilationResult holds a strong reference to the program,
-        # so its id() cannot be recycled while the entry is alive.
-        self._cache: dict[tuple, CompilationResult] = {}
+        self.disk_cache = disk_cache
+        # LRU keyed by (program, tile_sizes, config, storage, threads).
+        # StencilProgram hashes/compares by identity and the key tuple holds
+        # a strong reference to it, so the entry can never be confused with a
+        # different program reusing a recycled id — including results
+        # fetched from the disk cache, which reference their own unpickled
+        # program copy rather than the caller's object.
+        self._cache: OrderedDict[tuple, CompilationResult] = OrderedDict()
 
     def cache_clear(self) -> None:
-        """Drop all memoised compilation results."""
+        """Drop all memoised compilation results (in-memory layer only)."""
         self._cache.clear()
 
     def compile(
@@ -168,10 +186,21 @@ class HybridCompiler:
             program = parse_stencil(program)
         config = config or OptimizationConfig.default()
 
-        key = (id(program), tile_sizes, config, storage, threads)
+        key = (program, tile_sizes, config, storage, threads)
         cached = self._cache.get(key)
         if cached is not None:
+            self._cache.move_to_end(key)
             return cached
+
+        disk_key: str | None = None
+        if self.disk_cache is not None:
+            disk_key = compilation_key(
+                program, tile_sizes, config, storage, threads, self.device
+            )
+            fetched = self.disk_cache.get(disk_key)
+            if isinstance(fetched, CompilationResult):
+                self._remember(key, fetched)
+                return fetched
 
         canonical = canonicalize(program, storage=storage)
 
@@ -206,7 +235,14 @@ class HybridCompiler:
             tile_cost=tile_cost,
             device=self.device,
         )
-        if len(self._cache) >= self.CACHE_CAPACITY:
-            self._cache.pop(next(iter(self._cache)))
-        self._cache[key] = result
+        self._remember(key, result)
+        if self.disk_cache is not None and disk_key is not None:
+            self.disk_cache.put(disk_key, result)
         return result
+
+    def _remember(self, key: tuple, result: CompilationResult) -> None:
+        """Insert into the in-memory LRU, evicting the least recently used."""
+        if len(self._cache) >= self.CACHE_CAPACITY:
+            self._cache.popitem(last=False)
+        self._cache[key] = result
+        self._cache.move_to_end(key)

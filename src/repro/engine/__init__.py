@@ -1,0 +1,13 @@
+"""The parallel execution engine.
+
+A thin, deterministic process-pool layer used by the bench harness, the
+experiment drivers and the CLI to fan compile/validate/simulate jobs and the
+Table 1–5 stencil×tile-size sweeps across cores.  Results always come back
+in submission order, so ``--jobs N`` output is identical to ``--jobs 1``
+output; workers share compiled artefacts through the on-disk cache
+(:mod:`repro.cache`).
+"""
+
+from repro.engine.pool import map_ordered, resolve_jobs
+
+__all__ = ["map_ordered", "resolve_jobs"]

@@ -1,0 +1,51 @@
+"""Deterministic process-pool fan-out.
+
+The engine intentionally exposes a single primitive — :func:`map_ordered` —
+because every parallel consumer in this code base (bench suites, table
+sweeps, validation batches) has the same shape: a list of independent job
+descriptions, a pure worker function, and a report assembled in input order.
+
+Determinism contract: ``map_ordered(fn, items, jobs=N)`` returns exactly
+``[fn(item) for item in items]`` for every ``N``.  Parallelism changes wall
+time, never results or ordering.  Workers are separate processes; they share
+work products through the on-disk artefact cache rather than through memory.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` argument: ``None``/``0`` mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def map_ordered(
+    function: Callable[[_Item], _Result],
+    items: Iterable[_Item],
+    jobs: int | None = 1,
+) -> list[_Result]:
+    """Apply ``function`` to every item, results in input order.
+
+    ``jobs=1`` (the default) runs serially in-process — no pickling, no
+    subprocess, identical semantics.  ``jobs>1`` fans out over a process
+    pool; ``function`` and the items must be picklable.  ``jobs=None`` or
+    ``0`` uses every core.
+    """
+    materialised: Sequence[_Item] = list(items)
+    effective = resolve_jobs(jobs)
+    if effective <= 1 or len(materialised) <= 1:
+        return [function(item) for item in materialised]
+    workers = min(effective, len(materialised))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Executor.map preserves submission order regardless of completion
+        # order, which is the whole determinism story.
+        return list(pool.map(function, materialised))

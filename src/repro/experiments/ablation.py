@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
+from repro.cache import DiskCache
 from repro.compiler import HybridCompiler
+from repro.engine import map_ordered
 from repro.experiments.paper_data import PAPER_TABLE4, PAPER_TABLE5, PAPER_TILE_SIZES
 from repro.gpu.device import GPUDevice, GTX470, NVS5200M
 from repro.pipeline import table4_configurations
@@ -25,65 +28,115 @@ class AblationRow:
     paper_gflops: float | None
 
 
+def ablation_rows_for_device(
+    device: GPUDevice,
+    benchmark: str = "heat_3d",
+    tile_sizes: TileSizes | None = None,
+    disk_cache: DiskCache | None = None,
+) -> list[AblationRow]:
+    """Table 4 rows of one device (picklable engine task).
+
+    The configurations of one device stay sequential: each row's speedup
+    column refers to the previous configuration.
+    """
+    tile_sizes = tile_sizes or PAPER_TILE_SIZES[benchmark]
+    program = get_stencil(benchmark)
+    compiler = HybridCompiler(device, disk_cache=disk_cache)
+    rows: list[AblationRow] = []
+    previous: float | None = None
+    for label, config in table4_configurations().items():
+        compiled = compiler.compile(program, tile_sizes=tile_sizes, config=config)
+        report = compiled.estimate_performance(device)
+        speedup = report.gflops / previous if previous else None
+        paper = PAPER_TABLE4.get(device.name, {}).get(label)
+        rows.append(
+            AblationRow(
+                configuration=label,
+                device=device.name,
+                gflops=report.gflops,
+                gstencils_per_second=report.gstencils_per_second,
+                speedup_over_previous=speedup,
+                bound_by=report.bound_by,
+                paper_gflops=paper,
+            )
+        )
+        previous = report.gflops
+    if disk_cache is not None:
+        disk_cache.flush_stats()
+    return rows
+
+
 def run_ablation(
     benchmark: str = "heat_3d",
     devices: tuple[GPUDevice, ...] = (NVS5200M, GTX470),
     tile_sizes: TileSizes | None = None,
+    jobs: int = 1,
+    disk_cache: DiskCache | None = None,
 ) -> list[AblationRow]:
-    """Reproduce Table 4: GFLOPS of heat 3D under configurations (a)-(f)."""
+    """Reproduce Table 4: GFLOPS of heat 3D under configurations (a)-(f).
+
+    ``jobs`` fans the per-device sweep over the execution engine with
+    deterministic row ordering.
+    """
+    task = partial(
+        ablation_rows_for_device,
+        benchmark=benchmark,
+        tile_sizes=tile_sizes,
+        disk_cache=disk_cache,
+    )
+    return [row for rows in map_ordered(task, devices, jobs=jobs) for row in rows]
+
+
+def counter_row_for_config(
+    label: str,
+    benchmark: str = "heat_3d",
+    device: GPUDevice = GTX470,
+    tile_sizes: TileSizes | None = None,
+    disk_cache: DiskCache | None = None,
+) -> dict[str, object]:
+    """One Table 5 row (picklable engine task)."""
     tile_sizes = tile_sizes or PAPER_TILE_SIZES[benchmark]
     program = get_stencil(benchmark)
-    rows: list[AblationRow] = []
-    for device in devices:
-        compiler = HybridCompiler(device)
-        previous: float | None = None
-        for label, config in table4_configurations().items():
-            compiled = compiler.compile(program, tile_sizes=tile_sizes, config=config)
-            report = compiled.estimate_performance(device)
-            speedup = report.gflops / previous if previous else None
-            paper = PAPER_TABLE4.get(device.name, {}).get(label)
-            rows.append(
-                AblationRow(
-                    configuration=label,
-                    device=device.name,
-                    gflops=report.gflops,
-                    gstencils_per_second=report.gstencils_per_second,
-                    speedup_over_previous=speedup,
-                    bound_by=report.bound_by,
-                    paper_gflops=paper,
-                )
-            )
-            previous = report.gflops
-    return rows
+    config = table4_configurations()[label]
+    compiler = HybridCompiler(device, disk_cache=disk_cache)
+    compiled = compiler.compile(program, tile_sizes=tile_sizes, config=config)
+    estimate = compiled.execution_estimate(device)
+    table5 = estimate.counters.as_table5_row()
+    paper = PAPER_TABLE5.get(label, {})
+    if disk_cache is not None:
+        disk_cache.flush_stats()
+    return {
+        "configuration": label,
+        "gld_inst_32bit": table5["gld_inst_32bit"],
+        "dram_read_transactions": table5["dram_read_transactions"],
+        "l2_read_transactions": table5["l2_read_transactions"],
+        "shared_loads_per_request": table5["shared_loads_per_request"],
+        "gld_efficiency_percent": table5["gld_efficiency_percent"],
+        "paper": paper,
+    }
 
 
 def run_counter_ablation(
     benchmark: str = "heat_3d",
     device: GPUDevice = GTX470,
     tile_sizes: TileSizes | None = None,
+    jobs: int = 1,
+    disk_cache: DiskCache | None = None,
 ) -> list[dict[str, object]]:
-    """Reproduce Table 5: performance counters for configurations (a)-(f)."""
-    tile_sizes = tile_sizes or PAPER_TILE_SIZES[benchmark]
-    program = get_stencil(benchmark)
-    compiler = HybridCompiler(device)
-    rows: list[dict[str, object]] = []
-    for label, config in table4_configurations().items():
-        compiled = compiler.compile(program, tile_sizes=tile_sizes, config=config)
-        estimate = compiled.execution_estimate(device)
-        table5 = estimate.counters.as_table5_row()
-        paper = PAPER_TABLE5.get(label, {})
-        rows.append(
-            {
-                "configuration": label,
-                "gld_inst_32bit": table5["gld_inst_32bit"],
-                "dram_read_transactions": table5["dram_read_transactions"],
-                "l2_read_transactions": table5["l2_read_transactions"],
-                "shared_loads_per_request": table5["shared_loads_per_request"],
-                "gld_efficiency_percent": table5["gld_efficiency_percent"],
-                "paper": paper,
-            }
-        )
-    return rows
+    """Reproduce Table 5: performance counters for configurations (a)-(f).
+
+    ``jobs`` fans the per-configuration sweep over the execution engine with
+    deterministic row ordering.
+    """
+    task = partial(
+        counter_row_for_config,
+        benchmark=benchmark,
+        device=device,
+        tile_sizes=tile_sizes,
+        disk_cache=disk_cache,
+    )
+    labels = list(table4_configurations())
+    return map_ordered(task, labels, jobs=jobs)
 
 
 def format_table4(rows: list[AblationRow]) -> str:

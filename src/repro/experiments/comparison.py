@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.baselines import OvertileBaseline, Par4AllBaseline, PPCGBaseline, PatusBaseline
+from repro.cache import DiskCache
 from repro.compiler import HybridCompiler
+from repro.engine import map_ordered
 from repro.experiments.paper_data import (
     PAPER_TABLE1_GTX470,
     PAPER_TABLE2_NVS5200,
@@ -34,21 +37,15 @@ def _paper_reference(device: GPUDevice) -> dict[str, dict[str, float | None]]:
     return PAPER_TABLE1_GTX470 if device.name == GTX470.name else PAPER_TABLE2_NVS5200
 
 
-def run_comparison(
+def comparison_rows_for_benchmark(
+    benchmark: str,
     device: GPUDevice = GTX470,
-    benchmarks: list[str] | None = None,
     include_patus: bool = False,
+    disk_cache: DiskCache | None = None,
 ) -> list[ComparisonRow]:
-    """Run the Table 1 / Table 2 comparison on one device.
-
-    Every tool (hybrid compiler and baseline models) is evaluated on the
-    paper-sized problem instances through the same analytic GPU model, so the
-    comparison reflects differences between the tiling strategies rather than
-    tuned constants.
-    """
-    benchmarks = benchmarks or paper_benchmarks()
+    """All (tool, benchmark) rows of one benchmark (picklable engine task)."""
     reference = _paper_reference(device)
-    hybrid_compiler = HybridCompiler(device)
+    hybrid_compiler = HybridCompiler(device, disk_cache=disk_cache)
     baselines = {
         "ppcg": PPCGBaseline(),
         "par4all": Par4AllBaseline(),
@@ -57,57 +54,83 @@ def run_comparison(
     if include_patus:
         baselines["patus"] = PatusBaseline()
 
-    rows: list[ComparisonRow] = []
-    for benchmark in benchmarks:
-        program = get_stencil(benchmark)
-        paper_row = reference.get(benchmark, {})
-        results: dict[str, ComparisonRow] = {}
+    program = get_stencil(benchmark)
+    paper_row = reference.get(benchmark, {})
+    results: dict[str, ComparisonRow] = {}
 
-        ppcg_gs: float | None = None
-        for tool, baseline in baselines.items():
-            outcome = baseline.compile(program)
-            if not outcome.supported:
-                results[tool] = ComparisonRow(
-                    benchmark=benchmark,
-                    tool=tool,
-                    gstencils_per_second=None,
-                    speedup_over_ppcg=None,
-                    paper_gstencils=paper_row.get(tool),
-                    failure=outcome.failure_reason,
-                )
-                continue
-            report = outcome.performance(device)
-            assert report is not None
-            gs = report.gstencils_per_second
-            if tool == "ppcg":
-                ppcg_gs = gs
+    ppcg_gs: float | None = None
+    for tool, baseline in baselines.items():
+        outcome = baseline.compile(program)
+        if not outcome.supported:
             results[tool] = ComparisonRow(
                 benchmark=benchmark,
                 tool=tool,
-                gstencils_per_second=gs,
+                gstencils_per_second=None,
                 speedup_over_ppcg=None,
                 paper_gstencils=paper_row.get(tool),
-                strategy=outcome.strategy,
+                failure=outcome.failure_reason,
             )
-
-        compiled = hybrid_compiler.compile(
-            program, tile_sizes=PAPER_TILE_SIZES.get(benchmark)
-        )
-        report = compiled.estimate_performance(device)
-        results["hybrid"] = ComparisonRow(
+            continue
+        report = outcome.performance(device)
+        assert report is not None
+        gs = report.gstencils_per_second
+        if tool == "ppcg":
+            ppcg_gs = gs
+        results[tool] = ComparisonRow(
             benchmark=benchmark,
-            tool="hybrid",
-            gstencils_per_second=report.gstencils_per_second,
+            tool=tool,
+            gstencils_per_second=gs,
             speedup_over_ppcg=None,
-            paper_gstencils=paper_row.get("hybrid"),
-            strategy=f"hybrid hexagonal/classical, {compiled.tiling.sizes}",
+            paper_gstencils=paper_row.get(tool),
+            strategy=outcome.strategy,
         )
 
-        for row in results.values():
-            if row.gstencils_per_second is not None and ppcg_gs:
-                row.speedup_over_ppcg = row.gstencils_per_second / ppcg_gs
-            rows.append(row)
+    compiled = hybrid_compiler.compile(
+        program, tile_sizes=PAPER_TILE_SIZES.get(benchmark)
+    )
+    report = compiled.estimate_performance(device)
+    results["hybrid"] = ComparisonRow(
+        benchmark=benchmark,
+        tool="hybrid",
+        gstencils_per_second=report.gstencils_per_second,
+        speedup_over_ppcg=None,
+        paper_gstencils=paper_row.get("hybrid"),
+        strategy=f"hybrid hexagonal/classical, {compiled.tiling.sizes}",
+    )
+
+    rows: list[ComparisonRow] = []
+    for row in results.values():
+        if row.gstencils_per_second is not None and ppcg_gs:
+            row.speedup_over_ppcg = row.gstencils_per_second / ppcg_gs
+        rows.append(row)
+    if disk_cache is not None:
+        disk_cache.flush_stats()
     return rows
+
+
+def run_comparison(
+    device: GPUDevice = GTX470,
+    benchmarks: list[str] | None = None,
+    include_patus: bool = False,
+    jobs: int = 1,
+    disk_cache: DiskCache | None = None,
+) -> list[ComparisonRow]:
+    """Run the Table 1 / Table 2 comparison on one device.
+
+    Every tool (hybrid compiler and baseline models) is evaluated on the
+    paper-sized problem instances through the same analytic GPU model, so the
+    comparison reflects differences between the tiling strategies rather than
+    tuned constants.  ``jobs`` fans the per-benchmark sweep over the
+    execution engine; the row order is identical for every job count.
+    """
+    benchmarks = benchmarks or paper_benchmarks()
+    task = partial(
+        comparison_rows_for_benchmark,
+        device=device,
+        include_patus=include_patus,
+        disk_cache=disk_cache,
+    )
+    return [row for rows in map_ordered(task, benchmarks, jobs=jobs) for row in rows]
 
 
 def format_comparison(rows: list[ComparisonRow], device: GPUDevice) -> str:

@@ -40,11 +40,14 @@ from repro.model.expr import Call, FieldRead, walk
 from repro.model.program import StencilProgram
 from repro.pipeline import OptimizationConfig
 from repro.tiling.hybrid import HybridTiling, SchedulePoint, TileCoordinate
+from repro.tiling.schedule_arrays import ScheduleArrays, run_boundaries
 
 # Intrinsics whose evaluation is elementwise-safe on NumPy arrays.  fminf and
-# fmaxf evaluate through the Python builtins min/max, which reject arrays, so
-# programs using them fall back to the scalar interpreter.
-_BATCH_SAFE_CALLS = frozenset({"sqrtf", "sqrt", "fabsf", "fabs", "expf"})
+# fmaxf evaluate through np.minimum/np.maximum, which are elementwise and
+# bit-for-bit identical to the scalar min/max on float32 operands.
+_BATCH_SAFE_CALLS = frozenset(
+    {"sqrtf", "sqrt", "fabsf", "fabs", "expf", "fminf", "fmaxf"}
+)
 
 
 def _program_batchable(program: StencilProgram) -> bool:
@@ -67,7 +70,7 @@ def _program_batchable(program: StencilProgram) -> bool:
 def _encode_locations(
     index: tuple[np.ndarray, ...], sizes: Sequence[int]
 ) -> np.ndarray:
-    """Injective integer encoding of grid locations (see `_run_tile_batch`)."""
+    """Injective integer encoding of grid locations (see `_run_tile_groups`)."""
     linear = index[0] + sizes[0]
     for axis in range(1, len(index)):
         extent = sizes[axis]
@@ -142,7 +145,163 @@ class FunctionalSimulator:
         counters = PerformanceCounters()
         counters.stencil_updates = 0.0
 
-        tiles = self.tiling.group_instances_by_tile()
+        if self.batch:
+            stats = self._run_batch(state, counters, check_footprint)
+        else:
+            stats = self._run_scalar(state, counters, check_footprint)
+        tiles_executed, full_tiles, partial_tiles, max_footprint, distinct_t = stats
+
+        counters.kernel_launches = 2.0 * distinct_t
+        counters.host_device_bytes = 2.0 * program.data_bytes()
+
+        final = {name: state[name][steps].copy() for name in program.fields}
+        return SimulationResult(
+            final_fields=final,
+            counters=counters,
+            tiles_executed=tiles_executed,
+            full_tiles=full_tiles,
+            partial_tiles=partial_tiles,
+            max_footprint_elements=max_footprint,
+        )
+
+    # -- array-native (batch) execution ---------------------------------------------------------
+
+    def _run_batch(
+        self,
+        state: dict[str, list[np.ndarray]],
+        counters: PerformanceCounters,
+        check_footprint: bool,
+    ) -> tuple[int, int, int, int, int]:
+        """Execute all tiles from the columnar schedule, no objects involved.
+
+        The full schedule is sorted once with ``np.lexsort``; tiles and
+        barrier steps are consecutive runs of the sorted key columns, so the
+        only remaining Python loop is one iteration per barrier step (whose
+        points execute in parallel on the GPU and are evaluated as one array
+        operation).  Returns ``(tiles, full, partial, max_footprint,
+        distinct_time_tiles)``.
+        """
+        tiling = self.tiling
+        arrays = tiling.schedule_arrays()
+        ordered: ScheduleArrays = arrays.take(arrays.sequential_order())
+        total = len(ordered)
+        tile_columns = ordered.tile_key_columns()
+        tile_starts = run_boundaries(*tile_columns)
+        tile_ends = np.append(tile_starts[1:], total)
+        group_starts = run_boundaries(*tile_columns, ordered.local_time)
+
+        expected_full = tiling.iterations_per_full_tile()
+        full_tiles = 0
+        partial_tiles = 0
+        max_footprint = 0
+        for start, end in zip(tile_starts, tile_ends):
+            count = int(end - start)
+            if count == expected_full:
+                full_tiles += 1
+            else:
+                partial_tiles += 1
+            lo = int(np.searchsorted(group_starts, start))
+            hi = int(np.searchsorted(group_starts, end))
+            bounds = zip(
+                group_starts[lo:hi],
+                np.append(group_starts[lo + 1 : hi], end),
+            )
+            footprint, distinct_loads, reads_performed = self._run_tile_groups(
+                ordered, bounds, state, counters
+            )
+            self._account_tile(counters, count, distinct_loads, reads_performed)
+            max_footprint = max(max_footprint, footprint)
+            if check_footprint and self.plan is not None and count == expected_full:
+                self._check_footprint(ordered.point(int(start)).tile, footprint)
+            counters.barriers += tiling.shape.time_period
+        distinct_t = int(np.unique(ordered.time_tile).size)
+        return len(tile_starts), full_tiles, partial_tiles, max_footprint, distinct_t
+
+    def _run_tile_groups(
+        self,
+        ordered: ScheduleArrays,
+        bounds,
+        state: dict[str, list[np.ndarray]],
+        counters: PerformanceCounters,
+    ) -> tuple[int, int, int]:
+        """Vectorised interpretation of one tile: one array op per barrier step.
+
+        Points of a barrier step (same tile, same ``t'``) run in parallel on
+        the GPU — the legality checker proves no dependence connects them —
+        so evaluating the expression tree once over gathered float32 arrays
+        performs exactly the scalar association order per point, elementwise,
+        and the result is bit-for-bit identical.
+
+        Returns ``(footprint_elements, distinct_loads, reads_performed)``.
+        """
+        program = self.program
+        num_statements = self.tiling.canonical.num_statements
+        # Shifted mixed-radix encoding of grid locations: coordinate c of a
+        # dimension of extent S maps to c + S in base 2S, which is injective
+        # for every index NumPy would accept (c in [-S, S)), so distinct
+        # encodings correspond exactly to the scalar mode's distinct tuples.
+        sizes = program.sizes
+        reads_performed = 0
+        # (field, version) -> list of linear-location arrays, one per access.
+        staged: dict[tuple[str, int], list[np.ndarray]] = {}
+        spatial = ordered.canonical[:, 1:]
+
+        for start, end in bounds:
+            start = int(start)
+            end = int(end)
+            count = end - start
+            logical = int(ordered.canonical[start, 0])
+            statement = program.statements[logical % num_statements]
+            t = logical // num_statements
+            columns = tuple(
+                spatial[start:end, axis] for axis in range(spatial.shape[1])
+            )
+
+            def read(access: FieldRead) -> np.ndarray:
+                nonlocal reads_performed
+                version = t + 1 - access.time_offset
+                index = tuple(
+                    column + offset
+                    for column, offset in zip(columns, access.offsets)
+                )
+                linear = _encode_locations(index, sizes)
+                staged.setdefault((access.field, version), []).append(linear)
+                reads_performed += count
+                return state[access.field][version][index]
+
+            value = statement.expr.evaluate(read)
+            state[statement.target][t + 1][columns] = np.asarray(
+                value, dtype=np.float32
+            )
+
+            counters.flops += statement.flops * count
+            counters.stencil_updates += count
+            counters.gst_instructions += count
+            counters.shared_store_requests += count / 32.0
+
+        distinct_loads = 0
+        all_locations: list[np.ndarray] = []
+        for chunks in staged.values():
+            merged = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+            distinct_loads += np.unique(merged).size
+            all_locations.append(merged)
+        # The footprint is the number of distinct *locations* touched by any
+        # read, regardless of field or version (matching the scalar mode).
+        footprint = (
+            np.unique(np.concatenate(all_locations)).size if all_locations else 0
+        )
+        return footprint, distinct_loads, reads_performed
+
+    # -- object-based (scalar reference) execution ----------------------------------------------
+
+    def _run_scalar(
+        self,
+        state: dict[str, list[np.ndarray]],
+        counters: PerformanceCounters,
+        check_footprint: bool,
+    ) -> tuple[int, int, int, int, int]:
+        """Reference execution: tile by tile, one point at a time."""
+        tiles = self.tiling.group_instances_by_tile_reference()
         ordered_tiles = sorted(
             tiles.items(),
             key=lambda item: (
@@ -155,7 +314,6 @@ class FunctionalSimulator:
         full_tiles = 0
         partial_tiles = 0
         max_footprint = 0
-
         for tile, points in ordered_tiles:
             if len(points) == expected_full:
                 full_tiles += 1
@@ -166,23 +324,14 @@ class FunctionalSimulator:
             if check_footprint and self.plan is not None and len(points) == expected_full:
                 self._check_footprint(tile, footprint)
             counters.barriers += self.tiling.shape.time_period
-
-        counters.kernel_launches = 2.0 * len(
-            {tile.time_tile for tile, _ in ordered_tiles}
+        distinct_t = len({tile.time_tile for tile, _ in ordered_tiles})
+        return (
+            len(ordered_tiles),
+            full_tiles,
+            partial_tiles,
+            max_footprint,
+            distinct_t,
         )
-        counters.host_device_bytes = 2.0 * program.data_bytes()
-
-        final = {name: state[name][steps].copy() for name in program.fields}
-        return SimulationResult(
-            final_fields=final,
-            counters=counters,
-            tiles_executed=len(ordered_tiles),
-            full_tiles=full_tiles,
-            partial_tiles=partial_tiles,
-            max_footprint_elements=max_footprint,
-        )
-
-    # -- per-tile execution ---------------------------------------------------------------------
 
     def _execute_tile(
         self,
@@ -196,15 +345,20 @@ class FunctionalSimulator:
             points,
             key=lambda p: (tuple(p.tile.space_tiles[1:]), p.local_time, p.local_space),
         )
-        if self.batch:
-            footprint, distinct_loads, reads_performed = self._run_tile_batch(
-                ordered, state, counters
-            )
-        else:
-            footprint, distinct_loads, reads_performed = self._run_tile_scalar(
-                ordered, state, counters
-            )
+        footprint, distinct_loads, reads_performed = self._run_tile_scalar(
+            ordered, state, counters
+        )
+        self._account_tile(counters, len(ordered), distinct_loads, reads_performed)
+        return footprint
 
+    def _account_tile(
+        self,
+        counters: PerformanceCounters,
+        points_in_tile: int,
+        distinct_loads: int,
+        reads_performed: int,
+    ) -> None:
+        """Per-tile memory-system counter accounting (both execution modes)."""
         counters.shared_load_requests += reads_performed / 32.0
         counters.shared_load_transactions += reads_performed / 32.0
         if self.config.use_shared_memory:
@@ -217,10 +371,8 @@ class FunctionalSimulator:
             counters.gld_instructions += reads_performed
             counters.requested_global_bytes += 4.0 * reads_performed
             counters.transferred_global_bytes += 4.0 * distinct_loads
-        counters.dram_write_transactions += len(ordered) * 4.0 / 32.0
+        counters.dram_write_transactions += points_in_tile * 4.0 / 32.0
         counters.dram_read_transactions += distinct_loads * 4.0 / 32.0
-
-        return footprint
 
     def _run_tile_scalar(
         self,
@@ -268,93 +420,6 @@ class FunctionalSimulator:
 
         footprint = len({location for _, location in touched})
         return footprint, len(loads_from_global), reads_performed
-
-    def _run_tile_batch(
-        self,
-        ordered: list[SchedulePoint],
-        state: dict[str, list[np.ndarray]],
-        counters: PerformanceCounters,
-    ) -> tuple[int, int, int]:
-        """Vectorised interpretation: one array operation per barrier step.
-
-        Points of a group (same classical tile column, same ``t'``) run in
-        parallel on the GPU — the legality checker proves no dependence
-        connects them — so evaluating the expression tree once over gathered
-        float32 arrays performs exactly the scalar association order per
-        point, elementwise, and the result is bit-for-bit identical.
-
-        Returns ``(footprint_elements, distinct_loads, reads_performed)``.
-        """
-        program = self.program
-        canonical = self.tiling.canonical
-        num_statements = canonical.num_statements
-        # Shifted mixed-radix encoding of grid locations: coordinate c of a
-        # dimension of extent S maps to c + S in base 2S, which is injective
-        # for every index NumPy would accept (c in [-S, S)), so distinct
-        # encodings correspond exactly to the scalar mode's distinct tuples.
-        sizes = program.sizes
-        reads_performed = 0
-        # (field, version) -> list of linear-location arrays, one per access.
-        staged: dict[tuple[str, int], list[np.ndarray]] = {}
-
-        coords = np.array(
-            [point.canonical_point[1:] for point in ordered], dtype=np.intp
-        )
-
-        start = 0
-        total = len(ordered)
-        while start < total:
-            first = ordered[start]
-            key = (first.tile.space_tiles[1:], first.local_time)
-            end = start + 1
-            while end < total:
-                nxt = ordered[end]
-                if (nxt.tile.space_tiles[1:], nxt.local_time) != key:
-                    break
-                end += 1
-            group = coords[start:end]
-            count = end - start
-
-            logical = first.canonical_point[0]
-            statement = program.statements[logical % num_statements]
-            t = logical // num_statements
-            columns = tuple(group[:, axis] for axis in range(group.shape[1]))
-
-            def read(access: FieldRead) -> np.ndarray:
-                nonlocal reads_performed
-                version = t + 1 - access.time_offset
-                index = tuple(
-                    column + offset
-                    for column, offset in zip(columns, access.offsets)
-                )
-                linear = _encode_locations(index, sizes)
-                staged.setdefault((access.field, version), []).append(linear)
-                reads_performed += count
-                return state[access.field][version][index]
-
-            value = statement.expr.evaluate(read)
-            state[statement.target][t + 1][columns] = np.asarray(
-                value, dtype=np.float32
-            )
-
-            counters.flops += statement.flops * count
-            counters.stencil_updates += count
-            counters.gst_instructions += count
-            counters.shared_store_requests += count / 32.0
-            start = end
-
-        distinct_loads = 0
-        all_locations: list[np.ndarray] = []
-        for chunks in staged.values():
-            merged = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
-            distinct_loads += np.unique(merged).size
-            all_locations.append(merged)
-        # The footprint is the number of distinct *locations* touched by any
-        # read, regardless of field or version (matching the scalar mode).
-        footprint = (
-            np.unique(np.concatenate(all_locations)).size if all_locations else 0
-        )
-        return footprint, distinct_loads, reads_performed
 
     def _check_footprint(self, tile: TileCoordinate, footprint_elements: int) -> None:
         """The actual data touched by a full tile must fit the planned boxes."""

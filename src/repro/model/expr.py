@@ -34,8 +34,11 @@ _CALL_TABLE = {
     "fabsf": abs,
     "fabs": abs,
     "expf": lambda x: math.e ** x if isinstance(x, float) else _np_exp(x),
-    "fminf": min,
-    "fmaxf": max,
+    # np.minimum/np.maximum are elementwise, so fminf/fmaxf evaluate both on
+    # scalars (bit-identical to min/max on float32 values) and on whole
+    # arrays (reference interpreter, batched simulator).
+    "fminf": lambda a, b: _np_minmax("minimum", a, b),
+    "fmaxf": lambda a, b: _np_minmax("maximum", a, b),
 }
 
 # FLOP cost per intrinsic call, used when counting the arithmetic throughput
@@ -56,6 +59,12 @@ def _np_exp(x: object) -> object:
     import numpy
 
     return numpy.exp(x)
+
+
+def _np_minmax(name: str, a: object, b: object) -> object:
+    import numpy
+
+    return getattr(numpy, name)(a, b)
 
 
 class Expr:

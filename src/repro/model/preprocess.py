@@ -97,6 +97,31 @@ class CanonicalForm:
             object.__setattr__(self, "_instances_cache", cached)
         return cached
 
+    def instances_array(self):
+        """All canonical points as a cached ``(N, 1 + ndim)`` int64 array.
+
+        Row order matches :meth:`instances_list`; this is the columnar input
+        of the array-native scheduling passes.
+        """
+        import numpy as np
+
+        cached = self.__dict__.get("_instances_array_cache")
+        if cached is None:
+            instances = self.instances_list()
+            cached = np.array(
+                [point for _, point in instances], dtype=np.int64
+            ).reshape(len(instances), 1 + len(self.space_dims))
+            cached.setflags(write=False)
+            object.__setattr__(self, "_instances_array_cache", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        """Drop the instance-enumeration memos when pickling."""
+        state = self.__dict__.copy()
+        state.pop("_instances_cache", None)
+        state.pop("_instances_array_cache", None)
+        return state
+
     # -- dependence geometry -----------------------------------------------------
 
     def space_distance_bounds(self, dim_index: int) -> tuple[Fraction, Fraction]:

@@ -116,8 +116,38 @@ class BasicSet:
             self._membership_rows = rows
         return rows
 
+    def contains_batch(self, points):
+        """Vectorised :meth:`contains` over an ``(N, ndim)`` integer array.
+
+        Evaluates the compiled integer constraint rows as array dot products;
+        returns a boolean ``np.ndarray`` mask of length ``N``.
+        """
+        import numpy as np
+
+        points = np.asarray(points, dtype=np.int64)
+        if points.ndim != 2 or points.shape[1] != self.space.ndim:
+            raise ValueError(
+                f"expected an (N, {self.space.ndim}) point array, "
+                f"got shape {points.shape}"
+            )
+        mask = np.ones(len(points), dtype=bool)
+        for coeffs, constant, is_equality in self._compiled_rows():
+            total = np.full(len(points), constant, dtype=np.int64)
+            for index, coeff in coeffs:
+                total += coeff * points[:, index]
+            mask &= (total == 0) if is_equality else (total >= 0)
+        return mask
+
     def __contains__(self, point: Sequence[int] | Mapping[str, int]) -> bool:
         return self.contains(point)
+
+    def __getstate__(self) -> dict:
+        """Drop the lazy caches when pickling (disk cache, process pool)."""
+        state = self.__dict__.copy()
+        state["_membership_rows"] = None
+        state["_point_list"] = None
+        state["_rationally_empty"] = None
+        return state
 
     # -- simple set algebra -------------------------------------------------------------
 

@@ -95,6 +95,16 @@ class ClassicalTiling:
         numerator = self.scale * s + self.skew_numerator * u
         return numerator % (self.scale * self.width)
 
+    def tile_index_batch(self, s, u):
+        """Vectorised :meth:`tile_index`: NumPy floor division matches Python."""
+        numerator = self.scale * s + self.skew_numerator * u
+        return numerator // (self.scale * self.width)
+
+    def local_coordinate_batch(self, s, u):
+        """Vectorised :meth:`local_coordinate` (elementwise identical)."""
+        numerator = self.scale * s + self.skew_numerator * u
+        return numerator % (self.scale * self.width)
+
     def tile_origin(self, tile_index: int, u: int) -> Fraction:
         """Smallest (rational) ``s_i`` covered by a tile at normalised time ``u``."""
         return Fraction(tile_index * self.width * self.scale - self.skew_numerator * u, self.scale)

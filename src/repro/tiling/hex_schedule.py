@@ -37,6 +37,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.polyhedral.quasi_affine import QExpr, QFloorDiv, QMod, qconst, qvar
 from repro.tiling.hexagon import HexagonalTileShape
 
@@ -117,6 +119,60 @@ class HexagonalSchedule:
         if in_phase1:
             return HexTileAssignment(Phase.GREEN, t1, S0_1, a1, b1)
         raise ValueError(f"point (l={l}, s0={s0}) not covered by any hexagonal tile")
+
+    def assign_batch(
+        self, l: np.ndarray, s0: np.ndarray, check_unique: bool = False
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`assign` over arrays of canonical points.
+
+        Returns ``(phase, T, S0, a, b)`` as int64 arrays.  NumPy's floor
+        division and modulo follow Python semantics, so every coordinate is
+        elementwise identical to the scalar path.  With ``check_unique`` a
+        :class:`ValueError` is raised unless exactly one phase claims every
+        point (the partitioning property of Section 3.3.3).
+        """
+        shape = self.shape
+        l = np.asarray(l, dtype=np.int64)
+        s0 = np.asarray(s0, dtype=np.int64)
+
+        t0 = (l + shape.height + 1) // shape.time_period
+        numerator0 = s0 + shape.floor_delta0_h + shape.width + 1 + t0 * shape.drift
+        S0_0 = numerator0 // shape.space_period
+        a0 = (l + shape.height + 1) % shape.time_period
+        b0 = numerator0 % shape.space_period
+        in_phase0 = shape.contains_batch(a0, b0)
+
+        t1 = l // shape.time_period
+        numerator1 = s0 + t1 * shape.drift
+        S0_1 = numerator1 // shape.space_period
+        a1 = l % shape.time_period
+        b1 = numerator1 % shape.space_period
+        in_phase1 = shape.contains_batch(a1, b1)
+
+        if check_unique:
+            bad = in_phase0 == in_phase1
+            if bad.any():
+                index = int(np.flatnonzero(bad)[0])
+                claimed = "both phases" if bool(in_phase0[index]) else "no phase"
+                raise ValueError(
+                    f"point (l={int(l[index])}, s0={int(s0[index])}) "
+                    f"claimed by {claimed}"
+                )
+        elif not (in_phase0 | in_phase1).all():
+            index = int(np.flatnonzero(~(in_phase0 | in_phase1))[0])
+            raise ValueError(
+                f"point (l={int(l[index])}, s0={int(s0[index])}) not covered "
+                "by any hexagonal tile"
+            )
+
+        phase = np.where(in_phase0, int(Phase.BLUE), int(Phase.GREEN))
+        return (
+            phase.astype(np.int64),
+            np.where(in_phase0, t0, t1),
+            np.where(in_phase0, S0_0, S0_1),
+            np.where(in_phase0, a0, a1),
+            np.where(in_phase0, b0, b1),
+        )
 
     def tile_points(
         self, phase: Phase, time_tile: int, space_tile: int

@@ -31,6 +31,8 @@ from fractions import Fraction
 from functools import cached_property
 from typing import Iterator
 
+import numpy as np
+
 from repro.polyhedral.affine import LinearExpr
 from repro.polyhedral.basic_set import BasicSet
 from repro.polyhedral.constraint import Constraint
@@ -164,15 +166,44 @@ class HexagonalTileShape:
         return BasicSet(self.space, self.constraints)
 
     @cached_property
+    def _row_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Inclusive ``(lower, upper)`` bounds of ``b`` per row ``a``.
+
+        One batched integer pass over all ``2h + 2`` rows: each rational
+        bound ``p/q`` is reduced with ``ceil(p/q) = -((-p) // q)`` and
+        ``floor(p/q) = p // q`` on scaled integer numerators, so the result
+        is exact (no floating point) and bit-identical to the per-row
+        :class:`~fractions.Fraction` evaluation kept as the reference in
+        :meth:`_compute_row_range`.
+        """
+        h = self.height
+        w0 = self.width
+        d0h = self.floor_delta0_h
+        d1h = self.floor_delta1_h
+        n0, q0 = self.delta0.numerator, self.delta0.denominator
+        n1, q1 = self.delta1.numerator, self.delta1.denominator
+        a = np.arange(0, 2 * h + 2, dtype=np.int64)
+        # From (6):  b >= δ0·(a - (2h+1)) + ⌊δ0·h⌋
+        lower_a = -((-(n0 * (a - (2 * h + 1)))) // q0) + d0h
+        # From (10): b >= (δ1·(h - a)·q1 - (q1-1)) / q1
+        lower_b = -((-(n1 * (h - a) - (q1 - 1))) // q1)
+        # From (8):  b <= δ1·(2h+1-a) + ⌊δ0·h⌋ + w0
+        upper_a = (n1 * (2 * h + 1 - a)) // q1 + d0h + w0
+        # From (12): b <= (δ0·(a-h)·q0 + (q0-1))/q0 + ⌊δ0·h⌋ + w0 + ⌊δ1·h⌋
+        upper_b = (n0 * (a - h) + (q0 - 1)) // q0 + d0h + w0 + d1h
+        return np.maximum(lower_a, lower_b), np.minimum(upper_a, upper_b)
+
+    @cached_property
     def _row_ranges(self) -> tuple[range, ...]:
         """``row_range(a)`` for every ``a`` in ``[0, 2h+1]``, precomputed once.
 
         Membership tests run once per statement instance and phase, so the
-        exact-rational row bounds are evaluated a single time per row and the
+        row bounds are evaluated a single time (one batched pass) and the
         per-point check reduces to two integer comparisons.
         """
+        lower, upper = self._row_bounds
         return tuple(
-            self._compute_row_range(a) for a in range(0, 2 * self.height + 2)
+            range(int(lo), int(hi) + 1) for lo, hi in zip(lower, upper)
         )
 
     def contains(self, a: int, b: int) -> bool:
@@ -184,6 +215,13 @@ class HexagonalTileShape:
         if a < 0 or a > 2 * self.height + 1:
             return False
         return b in self._row_ranges[a]
+
+    def contains_batch(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` over arrays of local points."""
+        lower, upper = self._row_bounds
+        valid = (a >= 0) & (a <= 2 * self.height + 1)
+        clipped = np.where(valid, a, 0)
+        return valid & (b >= lower[clipped]) & (b <= upper[clipped])
 
     def points(self) -> Iterator[tuple[int, int]]:
         """All integer points of the tile, ordered by ``(a, b)``."""

@@ -26,12 +26,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.model.preprocess import CanonicalForm
 from repro.polyhedral.quasi_affine import QExpr, qvar
 from repro.tiling.classical import ClassicalTiling
 from repro.tiling.cone import DependenceCone
 from repro.tiling.hex_schedule import HexagonalSchedule, HexTileAssignment, Phase
 from repro.tiling.hexagon import HexagonalTileShape, minimal_width
+from repro.tiling.schedule_arrays import (
+    ScheduleArrays,
+    build_schedule_arrays,
+    run_boundaries,
+)
 
 
 @dataclass(frozen=True)
@@ -154,6 +161,9 @@ class HybridTiling:
         # a source, once when grouping by tile).  Only the small grids used
         # for validation enumerate points, so the memo stays small.
         self._assign_cache: dict[tuple[int, ...], SchedulePoint] = {}
+        # Columnar schedule + tile grouping memos (array-native path).
+        self._schedule_arrays_cache: ScheduleArrays | None = None
+        self._tile_groups_cache: dict[TileCoordinate, list[SchedulePoint]] | None = None
 
         self.cone = DependenceCone.from_distance_vectors(
             canonical.distance_vectors, dim_index=0
@@ -247,15 +257,52 @@ class HybridTiling:
         canonical_point = self.canonical.to_canonical(statement_index, t, point)
         return self.assign_canonical(canonical_point)
 
+    # -- batched (array-native) assignment ------------------------------------------------
+
+    def assign_batch(
+        self, canonical_points: np.ndarray, check_unique: bool = False
+    ) -> ScheduleArrays:
+        """Vectorised :meth:`assign_canonical` over an ``(N, 1+ndim)`` array."""
+        return build_schedule_arrays(self, canonical_points, check_unique)
+
+    def schedule_arrays(self) -> ScheduleArrays:
+        """The full columnar schedule of every statement instance (cached)."""
+        cached = self._schedule_arrays_cache
+        if cached is None:
+            cached = self.assign_batch(self.canonical.instances_array())
+            self._schedule_arrays_cache = cached
+        return cached
+
     # -- tile enumeration -------------------------------------------------------------------
 
     def group_instances_by_tile(self) -> dict[TileCoordinate, list[SchedulePoint]]:
         """Group every statement instance of the program by its tile.
 
-        Only intended for the small grids used in validation, testing and the
-        functional GPU simulator; production-size grids are analysed with the
-        closed-form counts instead.
+        Computed with one batched assignment and one ``np.lexsort`` over the
+        schedule key (the object-based construction is kept as
+        :meth:`group_instances_by_tile_reference`).  Only intended for the
+        small grids used in validation, testing and the functional GPU
+        simulator; production-size grids are analysed with the closed-form
+        counts instead.
         """
+        cached = self._tile_groups_cache
+        if cached is not None:
+            return cached
+        arrays = self.schedule_arrays()
+        ordered = arrays.take(arrays.sequential_order())
+        starts = run_boundaries(*ordered.tile_key_columns())
+        ends = np.append(starts[1:], len(ordered))
+        tiles: dict[TileCoordinate, list[SchedulePoint]] = {}
+        for start, end in zip(starts, ends):
+            first = ordered.point(int(start))
+            tiles[first.tile] = [first, *ordered.points(range(start + 1, end))]
+        self._tile_groups_cache = tiles
+        return tiles
+
+    def group_instances_by_tile_reference(
+        self,
+    ) -> dict[TileCoordinate, list[SchedulePoint]]:
+        """Object-based reference implementation of :meth:`group_instances_by_tile`."""
         tiles: dict[TileCoordinate, list[SchedulePoint]] = {}
         for _, canonical_point in self.canonical.instances():
             schedule_point = self.assign_canonical(canonical_point)
@@ -265,7 +312,17 @@ class HybridTiling:
         return tiles
 
     def execution_order(self) -> list[SchedulePoint]:
-        """All instances in one sequential order compatible with the schedule."""
+        """All instances in one sequential order compatible with the schedule.
+
+        The order is computed by ``np.lexsort`` over the columnar schedule;
+        :meth:`execution_order_reference` keeps the build-objects-then-sort
+        construction for the equivalence tests.
+        """
+        arrays = self.schedule_arrays()
+        return list(arrays.points(arrays.sequential_order()))
+
+    def execution_order_reference(self) -> list[SchedulePoint]:
+        """Object-based reference implementation of :meth:`execution_order`."""
         points = [
             self.assign_canonical(point) for _, point in self.canonical.instances()
         ]
@@ -322,6 +379,14 @@ class HybridTiling:
         for tiling in self.classical:
             lines.append(f"  classical {tiling.dim_name:>4}      : {tiling}")
         return "\n".join(lines)
+
+    def __getstate__(self) -> dict:
+        """Drop the (re-derivable) memo caches when pickling."""
+        state = self.__dict__.copy()
+        state["_assign_cache"] = {}
+        state["_schedule_arrays_cache"] = None
+        state["_tile_groups_cache"] = None
+        return state
 
     def __repr__(self) -> str:
         return f"HybridTiling({self.canonical.program.name}, {self.sizes})"

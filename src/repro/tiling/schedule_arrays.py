@@ -1,0 +1,194 @@
+"""Array-native schedule representation (columnar :class:`SchedulePoint`).
+
+The object-based scheduling API of :mod:`repro.tiling.hybrid` materialises one
+:class:`~repro.tiling.hybrid.SchedulePoint` per statement instance, which puts
+a Python allocation and a Python comparison on every point of the iteration
+space.  This module holds the batched counterpart: one
+:class:`ScheduleArrays` carries the full schedule of ``N`` instances as int64
+columns, assignment is a handful of NumPy passes (the hexagonal phase split,
+the classical strip-mining and the statement decoding are all elementwise
+integer arithmetic) and every ordering question becomes an ``np.lexsort``
+over the schedule key.
+
+The object-based path is kept as the executable reference; the equivalence
+tests in ``tests/tiling/test_array_equivalence.py`` assert that both paths
+produce identical orderings, groupings and validation verdicts across the
+stencil library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.tiling.hybrid import HybridTiling, SchedulePoint, TileCoordinate
+
+
+@dataclass(frozen=True)
+class ScheduleArrays:
+    """Schedule coordinates of ``N`` statement instances, one column each.
+
+    All arrays are int64 and share the row order of the canonical points they
+    were built from.  ``space_tiles`` and ``local_space`` have one column per
+    space dimension (``S_0 .. S_n`` and ``s'_0 .. s'_n``).
+    """
+
+    canonical: np.ndarray        # (N, 1 + ndim) — l, s0 .. sn
+    statement_index: np.ndarray  # (N,)
+    time_tile: np.ndarray        # (N,) — T
+    phase: np.ndarray            # (N,) — p
+    space_tiles: np.ndarray      # (N, ndim) — S0 .. Sn
+    local_time: np.ndarray       # (N,) — t'
+    local_space: np.ndarray      # (N, ndim) — s'0 .. s'n
+
+    def __len__(self) -> int:
+        return len(self.canonical)
+
+    @property
+    def ndim(self) -> int:
+        return self.space_tiles.shape[1]
+
+    # -- ordering ----------------------------------------------------------------
+
+    def sequential_key_columns(self) -> tuple[np.ndarray, ...]:
+        """Columns of the GPU-compatible total order, most significant first.
+
+        Mirrors :meth:`repro.tiling.hybrid.SchedulePoint.sequential_key`:
+        ``(T, p, S0, S1..Sn, t', s'0..s'n)``.
+        """
+        return (
+            self.time_tile,
+            self.phase,
+            *(self.space_tiles[:, axis] for axis in range(self.ndim)),
+            self.local_time,
+            *(self.local_space[:, axis] for axis in range(self.ndim)),
+        )
+
+    def tile_key_columns(self) -> tuple[np.ndarray, ...]:
+        """Columns identifying the tile: ``(T, p, S0 .. Sn)``."""
+        return (
+            self.time_tile,
+            self.phase,
+            *(self.space_tiles[:, axis] for axis in range(self.ndim)),
+        )
+
+    def sequential_order(self) -> np.ndarray:
+        """Stable permutation sorting the rows by the sequential key."""
+        keys = self.sequential_key_columns()
+        return np.lexsort(tuple(reversed(keys)))
+
+    def take(self, indices: np.ndarray) -> "ScheduleArrays":
+        """Row subset/permutation (``arrays.take(order)`` sorts the schedule)."""
+        return ScheduleArrays(
+            canonical=self.canonical[indices],
+            statement_index=self.statement_index[indices],
+            time_tile=self.time_tile[indices],
+            phase=self.phase[indices],
+            space_tiles=self.space_tiles[indices],
+            local_time=self.local_time[indices],
+            local_space=self.local_space[indices],
+        )
+
+    # -- object interop ------------------------------------------------------------
+
+    def point(self, index: int) -> "SchedulePoint":
+        """Materialise one row as a :class:`SchedulePoint` (error reporting)."""
+        from repro.tiling.hex_schedule import Phase
+        from repro.tiling.hybrid import SchedulePoint, TileCoordinate
+
+        tile = TileCoordinate(
+            time_tile=int(self.time_tile[index]),
+            phase=Phase(int(self.phase[index])),
+            space_tiles=tuple(int(v) for v in self.space_tiles[index]),
+        )
+        return SchedulePoint(
+            tile=tile,
+            local_time=int(self.local_time[index]),
+            local_space=tuple(int(v) for v in self.local_space[index]),
+            statement_index=int(self.statement_index[index]),
+            canonical_point=tuple(int(v) for v in self.canonical[index]),
+        )
+
+    def points(self, order: np.ndarray | None = None) -> Iterator["SchedulePoint"]:
+        """Materialise rows as :class:`SchedulePoint` objects, lazily."""
+        indices = range(len(self)) if order is None else order
+        for index in indices:
+            yield self.point(int(index))
+
+
+def build_schedule_arrays(
+    tiling: "HybridTiling",
+    canonical_points: np.ndarray,
+    check_unique: bool = False,
+) -> ScheduleArrays:
+    """Batched :meth:`HybridTiling.assign_canonical` over a point array.
+
+    ``canonical_points`` is an ``(N, 1 + ndim)`` integer array of canonical
+    coordinates ``(l, s0 .. sn)``.  Every output column is elementwise
+    identical to the scalar assignment path.
+    """
+    points = np.asarray(canonical_points, dtype=np.int64)
+    if points.ndim != 2 or points.shape[1] != 1 + tiling.ndim:
+        raise ValueError(
+            f"expected an (N, {1 + tiling.ndim}) canonical point array, "
+            f"got shape {points.shape}"
+        )
+    l = points[:, 0]
+    phase, time_tile, s0_tile, local_time, s0_local = (
+        tiling.hex_schedule.assign_batch(l, points[:, 1], check_unique=check_unique)
+    )
+    space_tiles = np.empty((len(points), tiling.ndim), dtype=np.int64)
+    local_space = np.empty((len(points), tiling.ndim), dtype=np.int64)
+    space_tiles[:, 0] = s0_tile
+    local_space[:, 0] = s0_local
+    for axis, classical in enumerate(tiling.classical, start=1):
+        coordinate = points[:, 1 + axis]
+        space_tiles[:, axis] = classical.tile_index_batch(coordinate, local_time)
+        local_space[:, axis] = classical.local_coordinate_batch(
+            coordinate, local_time
+        )
+    return ScheduleArrays(
+        canonical=points,
+        statement_index=l % tiling.num_statements,
+        time_tile=time_tile,
+        phase=phase,
+        space_tiles=space_tiles,
+        local_time=local_time,
+        local_space=local_space,
+    )
+
+
+def run_boundaries(*columns: np.ndarray) -> np.ndarray:
+    """Start indices of the runs of equal composite keys in sorted columns.
+
+    Given columns already sorted lexicographically, returns the indices where
+    the composite key ``(columns[0][i], columns[1][i], ...)`` differs from the
+    previous row (always including row 0).
+    """
+    if not columns:
+        raise ValueError("need at least one key column")
+    n = len(columns[0])
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    change = np.zeros(n, dtype=bool)
+    change[0] = True
+    for column in columns:
+        change[1:] |= column[1:] != column[:-1]
+    return np.flatnonzero(change)
+
+
+def lexicographic_less(
+    left: tuple[np.ndarray, ...], right: tuple[np.ndarray, ...]
+) -> np.ndarray:
+    """Elementwise ``left < right`` for tuples of key columns."""
+    if len(left) != len(right):
+        raise ValueError("key tuples must have the same arity")
+    less = np.zeros(len(left[0]), dtype=bool)
+    equal = np.ones(len(left[0]), dtype=bool)
+    for lcol, rcol in zip(left, right):
+        less |= equal & (lcol < rcol)
+        equal &= lcol == rcol
+    return less

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.tiling.hybrid import HybridTiling, SchedulePoint
+from repro.tiling.schedule_arrays import lexicographic_less
 
 
 class ScheduleValidationError(AssertionError):
@@ -56,9 +59,22 @@ class ValidationReport:
 def check_coverage(tiling: HybridTiling) -> int:
     """Verify that every instance belongs to exactly one phase.
 
-    Returns the number of instances checked; raises
-    :class:`ScheduleValidationError` on the first violation.
+    One batched phase-membership pass over all instances.  Returns the number
+    of instances checked; raises :class:`ScheduleValidationError` on a
+    violation.
     """
+    points = tiling.canonical.instances_array()
+    try:
+        tiling.hex_schedule.assign_batch(
+            points[:, 0], points[:, 1], check_unique=True
+        )
+    except ValueError as error:
+        raise ScheduleValidationError(str(error)) from error
+    return len(points)
+
+
+def check_coverage_reference(tiling: HybridTiling) -> int:
+    """Point-at-a-time reference implementation of :func:`check_coverage`."""
     checked = 0
     for _, canonical_point in tiling.canonical.instances():
         l, s0 = canonical_point[0], canonical_point[1]
@@ -73,7 +89,102 @@ def check_coverage(tiling: HybridTiling) -> int:
 def check_legality(tiling: HybridTiling) -> int:
     """Verify that every dependence is respected by the hybrid schedule.
 
-    Returns the number of (dependence, instance) pairs checked.
+    One batched pass per dependence: source points are derived by array
+    subtraction, filtered through the source statement's domain
+    (:meth:`~repro.polyhedral.basic_set.BasicSet.contains_batch`), assigned in
+    one batch and compared against the sinks with vectorised lexicographic
+    tests.  Returns the number of (dependence, instance) pairs checked.
+    """
+    canonical = tiling.canonical
+    arrays = tiling.schedule_arrays()
+    points = canonical.instances_array()
+    domains = {
+        index: statement.domain
+        for index, statement in enumerate(canonical.scop.statements)
+    }
+    name_to_index = {
+        statement.name: index
+        for index, statement in enumerate(canonical.scop.statements)
+    }
+    num_statements = canonical.num_statements
+    checked = 0
+    for dependence in canonical.dependences:
+        sink_index = name_to_index[dependence.sink]
+        source_index = name_to_index[dependence.source]
+        sink_rows = np.flatnonzero(arrays.statement_index == sink_index)
+        if not len(sink_rows):
+            continue
+        distance = np.asarray(dependence.distance, dtype=np.int64)
+        source_points = points[sink_rows] - distance
+        # The dependence distance shifts every sink of this statement by the
+        # same logical-time offset, so the "does the slot belong to the source
+        # statement" test is one modulo check, not a per-instance loop.
+        if int(source_points[0, 0]) % num_statements != source_index:
+            continue
+        source_t = source_points[:, 0] // num_statements
+        in_domain = domains[source_index].contains_batch(
+            np.column_stack((source_t, source_points[:, 1:]))
+        )
+        if not in_domain.any():
+            continue
+        sinks = arrays.take(sink_rows[in_domain])
+        sources = tiling.assign_batch(source_points[in_domain])
+        _check_pair_ordering_batch(sources, sinks, dependence)
+        checked += int(in_domain.sum())
+    return checked
+
+
+def _check_pair_ordering_batch(sources, sinks, dependence) -> None:
+    """Vectorised :func:`_check_pair_ordering` over aligned source/sink rows."""
+    source_outer = (sources.time_tile, sources.phase)
+    sink_outer = (sinks.time_tile, sinks.phase)
+    outer_before = lexicographic_less(source_outer, sink_outer)
+    outer_after = lexicographic_less(sink_outer, source_outer)
+    if outer_after.any():
+        index = int(np.flatnonzero(outer_after)[0])
+        raise ScheduleValidationError(
+            f"dependence {dependence} violated: source tile "
+            f"{sources.point(index).tile} executes after sink tile "
+            f"{sinks.point(index).tile}"
+        )
+    same_outer = ~outer_before
+    # Same time tile and phase: blocks run in parallel, so the two instances
+    # must live in the same hexagonal (S0) tile.
+    crossing = same_outer & (sources.space_tiles[:, 0] != sinks.space_tiles[:, 0])
+    if crossing.any():
+        index = int(np.flatnonzero(crossing)[0])
+        raise ScheduleValidationError(
+            f"dependence {dependence} crosses concurrent blocks: "
+            f"{sources.point(index).tile} -> {sinks.point(index).tile}"
+        )
+    inner_columns = range(1, sources.ndim)
+    source_inner = (
+        *(sources.space_tiles[:, axis] for axis in inner_columns),
+        sources.local_time,
+    )
+    sink_inner = (
+        *(sinks.space_tiles[:, axis] for axis in inner_columns),
+        sinks.local_time,
+    )
+    stalled = same_outer & ~lexicographic_less(source_inner, sink_inner)
+    if stalled.any():
+        index = int(np.flatnonzero(stalled)[0])
+        source_point = sources.point(index)
+        sink_point = sinks.point(index)
+        source_key = (tuple(source_point.tile.space_tiles[1:]), source_point.local_time)
+        sink_key = (tuple(sink_point.tile.space_tiles[1:]), sink_point.local_time)
+        raise ScheduleValidationError(
+            f"dependence {dependence} violated inside tile {sink_point.tile}: "
+            f"source inner coordinates {source_key} do not precede "
+            f"{sink_key}"
+        )
+
+
+def check_legality_reference(tiling: HybridTiling) -> int:
+    """Point-at-a-time reference implementation of :func:`check_legality`.
+
+    Goes through :meth:`HybridTiling.assign_canonical` for every source and
+    sink, so it also exercises the object-based assignment path.
     """
     canonical = tiling.canonical
     domains = {
@@ -145,14 +256,35 @@ def _check_pair_ordering(source: SchedulePoint, sink: SchedulePoint, dependence)
 def check_tile_uniformity(tiling: HybridTiling) -> tuple[int, int]:
     """Check that all full tiles have the same iteration count.
 
-    Returns ``(full_tiles, partial_tiles)``.  A tile is *full* when its point
-    count equals :meth:`HybridTiling.iterations_per_full_tile`; partial tiles
-    (at the domain boundary) may contain fewer points but never more.
+    One ``np.unique`` pass over the composite tile keys.  Returns
+    ``(full_tiles, partial_tiles)``.  A tile is *full* when its point count
+    equals :meth:`HybridTiling.iterations_per_full_tile`; partial tiles (at
+    the domain boundary) may contain fewer points but never more.
     """
+    expected = tiling.iterations_per_full_tile()
+    arrays = tiling.schedule_arrays()
+    tile_keys = np.column_stack(arrays.tile_key_columns())
+    _, first_rows, counts = np.unique(
+        tile_keys, axis=0, return_index=True, return_counts=True
+    )
+    oversized = counts > expected
+    if oversized.any():
+        index = int(np.flatnonzero(oversized)[0])
+        tile = arrays.point(int(first_rows[index])).tile
+        raise ScheduleValidationError(
+            f"tile {tile} contains {int(counts[index])} points, more than the "
+            f"uniform full-tile count {expected}"
+        )
+    full = int((counts == expected).sum())
+    return full, len(counts) - full
+
+
+def check_tile_uniformity_reference(tiling: HybridTiling) -> tuple[int, int]:
+    """Object-based reference implementation of :func:`check_tile_uniformity`."""
     expected = tiling.iterations_per_full_tile()
     full = 0
     partial = 0
-    for tile, points in tiling.group_instances_by_tile().items():
+    for tile, points in tiling.group_instances_by_tile_reference().items():
         if len(points) > expected:
             raise ScheduleValidationError(
                 f"tile {tile} contains {len(points)} points, more than the "
@@ -165,13 +297,25 @@ def check_tile_uniformity(tiling: HybridTiling) -> tuple[int, int]:
     return full, partial
 
 
-def validate_hybrid_tiling(tiling: HybridTiling) -> ValidationReport:
+def validate_hybrid_tiling(
+    tiling: HybridTiling, reference: bool = False
+) -> ValidationReport:
     """Run all validation passes and return a report.
 
     Raises :class:`ScheduleValidationError` as soon as a violation is found.
+    ``reference=True`` selects the retained object-based implementations; the
+    default batched passes produce identical reports (asserted by the
+    equivalence tests).
     """
     report = ValidationReport()
-    report.instances_checked = check_coverage(tiling)
-    report.dependences_checked = check_legality(tiling)
-    report.full_tiles, report.partial_tiles = check_tile_uniformity(tiling)
+    if reference:
+        report.instances_checked = check_coverage_reference(tiling)
+        report.dependences_checked = check_legality_reference(tiling)
+        report.full_tiles, report.partial_tiles = check_tile_uniformity_reference(
+            tiling
+        )
+    else:
+        report.instances_checked = check_coverage(tiling)
+        report.dependences_checked = check_legality(tiling)
+        report.full_tiles, report.partial_tiles = check_tile_uniformity(tiling)
     return report

@@ -1,0 +1,182 @@
+"""The persistent on-disk compile cache: round trips, robustness, layering."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cache import DiskCache, compilation_key
+from repro.cache.disk import SCHEMA_VERSION, _ENVELOPE_KIND
+from repro.compiler import CompilationResult, HybridCompiler
+from repro.gpu.device import GTX470, NVS5200M
+from repro.stencils import get_stencil
+from repro.tiling.hybrid import TileSizes
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(tmp_path / "hexcc")
+
+
+def test_round_trip(cache):
+    cache.put("ab12", {"value": [1, 2, 3]})
+    assert cache.get("ab12") == {"value": [1, 2, 3]}
+    assert cache.stats().entries == 1
+    assert cache.stats().hits == 1
+    assert cache.stats().stores == 1
+
+
+def test_missing_key_is_a_miss(cache):
+    assert cache.get("dead") is None
+    assert cache.stats().misses == 1
+
+
+def test_rejects_non_hex_keys(cache):
+    with pytest.raises(ValueError):
+        cache.put("../escape", 1)
+    with pytest.raises(ValueError):
+        cache.get("UPPER")
+
+
+def test_corrupt_entry_is_ignored_and_removed(cache):
+    cache.put("ab12", "payload")
+    path = cache._path("ab12")
+    path.write_bytes(b"not a pickle at all")
+    assert cache.get("ab12") is None
+    assert not path.exists()
+    # A later put/get works again.
+    cache.put("ab12", "fresh")
+    assert cache.get("ab12") == "fresh"
+
+
+def test_stale_schema_version_is_ignored_not_fatal(cache):
+    cache.put("ab12", "payload")
+    path = cache._path("ab12")
+    path.write_bytes(
+        pickle.dumps((_ENVELOPE_KIND, SCHEMA_VERSION + 1, "from the future"))
+    )
+    assert cache.get("ab12") is None
+    assert not path.exists()
+
+
+def test_foreign_envelope_kind_is_ignored(cache):
+    cache.put("ab12", "payload")
+    cache._path("ab12").write_bytes(pickle.dumps(("something-else", 1, "x")))
+    assert cache.get("ab12") is None
+
+
+def test_clear_removes_entries_and_stats(cache):
+    cache.put("ab12", 1)
+    cache.put("cd34", 2)
+    cache.flush_stats()
+    assert cache.clear() == 2
+    assert cache.stats().entries == 0
+    assert cache.stats().stores == 0
+
+
+def test_stats_persist_across_instances(cache):
+    cache.put("ab12", 1)
+    cache.get("ab12")
+    cache.flush_stats()
+    other = DiskCache(cache.root)
+    stats = other.stats()
+    assert stats.hits == 1
+    assert stats.stores == 1
+
+
+def test_compilation_key_depends_on_content_not_identity():
+    a = get_stencil("jacobi_2d", sizes=(16, 16), steps=4)
+    b = get_stencil("jacobi_2d", sizes=(16, 16), steps=4)
+    assert a is not b
+    assert compilation_key(a, device=GTX470) == compilation_key(b, device=GTX470)
+
+
+def test_compilation_key_varies_with_every_input():
+    program = get_stencil("jacobi_2d", sizes=(16, 16), steps=4)
+    base = compilation_key(program, device=GTX470)
+    assert compilation_key(program, device=NVS5200M) != base
+    assert compilation_key(program, tile_sizes=TileSizes.of(1, 3, 4), device=GTX470) != base
+    assert compilation_key(program, storage="folded", device=GTX470) != base
+    assert compilation_key(program, threads=(32,), device=GTX470) != base
+    other = get_stencil("jacobi_2d", sizes=(18, 16), steps=4)
+    assert compilation_key(other, device=GTX470) != base
+
+
+def test_compiler_disk_layer_round_trip(tmp_path):
+    cache = DiskCache(tmp_path / "hexcc")
+    program = get_stencil("jacobi_2d", sizes=(16, 16), steps=4)
+    first = HybridCompiler(disk_cache=cache).compile(program)
+    assert cache.stores == 1
+
+    # A fresh process would see the same thing a fresh compiler does: the
+    # entry is fetched, unpickled and fully usable.
+    fresh = HybridCompiler(disk_cache=DiskCache(tmp_path / "hexcc"))
+    again = fresh.compile(get_stencil("jacobi_2d", sizes=(16, 16), steps=4))
+    assert isinstance(again, CompilationResult)
+    assert again is not first
+    assert again.cuda_source == first.cuda_source
+    assert again.validate().ok
+    again.simulate_and_check()
+
+
+def test_compiler_survives_corrupt_disk_entry(tmp_path):
+    cache = DiskCache(tmp_path / "hexcc")
+    program = get_stencil("jacobi_2d", sizes=(16, 16), steps=4)
+    HybridCompiler(disk_cache=cache).compile(program)
+    for path in cache._entries():
+        path.write_bytes(b"\x80corrupted")
+    result = HybridCompiler(disk_cache=cache).compile(
+        get_stencil("jacobi_2d", sizes=(16, 16), steps=4)
+    )
+    assert result.validate().ok
+
+
+def test_compiler_lru_refreshes_on_hit_and_evicts_oldest_unused(monkeypatch):
+    """The in-memory layer is a true LRU: hits refresh recency."""
+    monkeypatch.setattr(HybridCompiler, "CACHE_CAPACITY", 2)
+    compiler = HybridCompiler()
+    small = dict(sizes=(16, 16), steps=4)
+    a = get_stencil("jacobi_2d", **small)
+    b = get_stencil("heat_2d", **small)
+    c = get_stencil("laplacian_2d", **small)
+
+    result_a = compiler.compile(a)
+    result_b = compiler.compile(b)
+    # Touch a: it becomes the most recently used entry.
+    assert compiler.compile(a) is result_a
+    # Inserting c must now evict b (the least recently used), not a.
+    compiler.compile(c)
+    assert compiler.compile(a) is result_a  # still cached
+    assert compiler.compile(b) is not result_b  # recompiled after eviction
+
+
+def test_memo_key_pins_the_callers_program_on_disk_hits(tmp_path):
+    """Disk hits must keep the caller's program alive in the memo key.
+
+    The in-memory LRU compares programs by identity; a fetched
+    CompilationResult references its own unpickled program copy, so unless
+    the key itself pins the caller's object, the caller's program could be
+    garbage collected and a different program reusing the recycled id would
+    silently hit the stale entry.
+    """
+    import weakref
+
+    cache_root = tmp_path / "hexcc"
+    seed = get_stencil("jacobi_2d", sizes=(16, 16), steps=4)
+    HybridCompiler(disk_cache=DiskCache(cache_root)).compile(seed)
+
+    compiler = HybridCompiler(disk_cache=DiskCache(cache_root))
+    caller = get_stencil("jacobi_2d", sizes=(16, 16), steps=4)
+    result = compiler.compile(caller)  # served from disk
+    assert result.program is not caller  # the unpickled copy
+    assert any(key[0] is caller for key in compiler._cache)
+
+    # The memo entry keeps the caller's program alive even when the caller
+    # drops its last reference, so its id can never be recycled.
+    finalized = weakref.ref(caller)
+    del caller
+    import gc
+
+    gc.collect()
+    assert finalized() is not None

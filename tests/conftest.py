@@ -9,6 +9,16 @@ from repro.stencils import get_stencil
 from repro.tiling.hybrid import HybridTiling, TileSizes
 
 
+@pytest.fixture(autouse=True)
+def _isolated_hexcc_cache(tmp_path, monkeypatch):
+    """Point the persistent compile cache at a per-test directory.
+
+    CLI entry points open ``DiskCache.default()``; without this fixture the
+    test suite would read and write the developer's real ``~/.cache/hexcc``.
+    """
+    monkeypatch.setenv("HEXCC_CACHE_DIR", str(tmp_path / "hexcc-cache"))
+
+
 @pytest.fixture
 def small_jacobi_2d():
     """A Jacobi 2D program small enough for exhaustive validation."""

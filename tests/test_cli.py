@@ -119,3 +119,52 @@ def test_example_custom_stencil_file_compiles(capsys):
     code = main(["compile-file", str(example), "--h", "2", "--widths", "4,32"])
     assert code == 0
     assert "edge_diffusion_2d" in capsys.readouterr().out
+
+
+def test_cache_stats_and_clear(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("HEXCC_CACHE_DIR", str(tmp_path / "cache"))
+    # A compile populates the persistent cache...
+    assert main(["compile", "jacobi_1d", "--h", "1", "--widths", "4"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    stats = capsys.readouterr().out
+    assert "entries    : 1" in stats
+    assert str(tmp_path / "cache") in stats
+    # ...and clear removes it.
+    assert main(["cache", "clear"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert main(["cache", "stats"]) == 0
+    assert "entries    : 0" in capsys.readouterr().out
+
+
+def test_compile_reuses_the_persistent_cache(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("HEXCC_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["compile", "jacobi_1d", "--h", "1", "--widths", "4"]) == 0
+    assert main(["compile", "jacobi_1d", "--h", "1", "--widths", "4"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    stats = capsys.readouterr().out
+    assert "hits       : 1" in stats
+    assert "stores     : 1" in stats
+
+
+def test_no_cache_flag_bypasses_the_disk_cache(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("HEXCC_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["compile", "jacobi_1d", "--no-cache", "--h", "1", "--widths", "4"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    assert "entries    : 0" in capsys.readouterr().out
+
+
+def test_tables_command_is_jobs_invariant(capsys):
+    assert main(["tables", "3", "--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["tables", "3", "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+    assert "laplacian_2d" in serial
+
+
+def test_tables_command_rejects_unknown_number(capsys):
+    assert main(["tables", "9"]) == 1
+    assert "unknown table" in capsys.readouterr().err

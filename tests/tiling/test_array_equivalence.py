@@ -1,0 +1,121 @@
+"""Equivalence of the array-native scheduling core and the object-based path.
+
+The tentpole invariant: for every stencil in the library (at test-scale
+problem sizes), the batched NumPy implementation of assignment, execution
+order, tile grouping and validation produces *identical* results to the
+retained object-based reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.preprocess import canonicalize
+from repro.stencils import get_stencil, list_stencils
+from repro.tiling.hybrid import HybridTiling, TileSizes
+from repro.tiling.schedule_arrays import (
+    lexicographic_less,
+    run_boundaries,
+)
+from repro.tiling.validate import (
+    check_coverage,
+    check_coverage_reference,
+    check_legality,
+    check_legality_reference,
+    check_tile_uniformity,
+    check_tile_uniformity_reference,
+    validate_hybrid_tiling,
+)
+
+# Small instances per dimensionality: enough points to produce full and
+# partial tiles, small enough for the exhaustive object-based reference.
+_SMALL = {1: ((48,), 8), 2: ((14, 12), 6), 3: ((8, 8, 8), 4)}
+
+
+def _tiling_for(name: str) -> HybridTiling:
+    program_full = get_stencil(name)
+    sizes, steps = _SMALL[len(program_full.sizes)]
+    program = get_stencil(name, sizes=sizes, steps=steps)
+    canonical = canonicalize(program)
+    height = 1 if canonical.num_statements == 1 else canonical.num_statements - 1
+    tiling = HybridTiling(
+        canonical,
+        TileSizes.of(
+            height,
+            *[3 + axis for axis in range(len(sizes))],
+        ),
+        require_statement_alignment=False,
+    )
+    return tiling
+
+
+@pytest.mark.parametrize("name", list_stencils())
+def test_assign_batch_matches_scalar_assignment(name):
+    tiling = _tiling_for(name)
+    arrays = tiling.schedule_arrays()
+    for row, (_, canonical_point) in enumerate(tiling.canonical.instances()):
+        point = tiling.assign_canonical(canonical_point)
+        assert tuple(arrays.canonical[row]) == canonical_point
+        assert int(arrays.time_tile[row]) == point.tile.time_tile
+        assert int(arrays.phase[row]) == int(point.tile.phase)
+        assert tuple(arrays.space_tiles[row]) == point.tile.space_tiles
+        assert int(arrays.local_time[row]) == point.local_time
+        assert tuple(arrays.local_space[row]) == point.local_space
+        assert int(arrays.statement_index[row]) == point.statement_index
+
+
+@pytest.mark.parametrize("name", list_stencils())
+def test_execution_order_matches_reference(name):
+    tiling = _tiling_for(name)
+    assert tiling.execution_order() == tiling.execution_order_reference()
+
+
+@pytest.mark.parametrize("name", list_stencils())
+def test_tile_grouping_matches_reference(name):
+    tiling = _tiling_for(name)
+    assert tiling.group_instances_by_tile() == tiling.group_instances_by_tile_reference()
+
+
+@pytest.mark.parametrize("name", list_stencils())
+def test_validator_verdicts_match_reference(name):
+    tiling = _tiling_for(name)
+    batched = validate_hybrid_tiling(tiling)
+    reference = validate_hybrid_tiling(tiling, reference=True)
+    assert batched == reference
+    assert batched.ok
+    assert check_coverage(tiling) == check_coverage_reference(tiling)
+    assert check_legality(tiling) == check_legality_reference(tiling)
+    assert check_tile_uniformity(tiling) == check_tile_uniformity_reference(tiling)
+
+
+def test_hexagon_row_bounds_match_fraction_reference():
+    """The batched integer row bounds equal the exact Fraction evaluation."""
+    from fractions import Fraction
+
+    from repro.tiling.cone import DependenceCone
+    from repro.tiling.hexagon import HexagonalTileShape, minimal_width
+
+    cones = [
+        DependenceCone(Fraction(1), Fraction(1)),
+        DependenceCone(Fraction(1, 2), Fraction(2)),
+        DependenceCone(Fraction(2, 3), Fraction(1, 3)),
+        DependenceCone(Fraction(0), Fraction(1)),
+    ]
+    for cone in cones:
+        for height in range(0, 5):
+            width = minimal_width(cone.delta0, cone.delta1, height) + 1
+            shape = HexagonalTileShape(cone, height, width)
+            for a in range(0, 2 * height + 2):
+                assert shape.row_range(a) == shape._compute_row_range(a)
+
+
+def test_run_boundaries_and_lexicographic_less():
+    keys = (
+        np.array([0, 0, 0, 1, 1, 2]),
+        np.array([0, 0, 1, 1, 1, 0]),
+    )
+    assert run_boundaries(*keys).tolist() == [0, 2, 3, 5]
+    left = (np.array([0, 1, 1]), np.array([5, 0, 1]))
+    right = (np.array([1, 1, 1]), np.array([0, 0, 1]))
+    assert lexicographic_less(left, right).tolist() == [True, False, False]

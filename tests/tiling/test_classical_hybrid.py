@@ -13,6 +13,7 @@ from repro.tiling.validate import (
     ScheduleValidationError,
     check_coverage,
     check_legality,
+    check_legality_reference,
     check_tile_uniformity,
     validate_hybrid_tiling,
 )
@@ -153,7 +154,7 @@ def test_schedule_expressions_evaluate_consistently(jacobi_tiling):
 
 
 def test_validation_detects_broken_schedule(jacobi_canonical):
-    """Sabotaged tile coordinates must be caught by the legality checker."""
+    """Sabotaged tile coordinates must be caught by the reference checker."""
     tiling = HybridTiling(jacobi_canonical, TileSizes.of(2, 3, 6))
     original = tiling.assign_canonical
 
@@ -175,6 +176,32 @@ def test_validation_detects_broken_schedule(jacobi_canonical):
         return result
 
     tiling.assign_canonical = sabotaged  # type: ignore[method-assign]
+    with pytest.raises(ScheduleValidationError):
+        check_legality_reference(tiling)
+
+
+def test_batched_validation_detects_broken_schedule(jacobi_canonical):
+    """Sabotaged batch assignment must be caught by the array-native checker."""
+    import numpy as np
+
+    tiling = HybridTiling(jacobi_canonical, TileSizes.of(2, 3, 6))
+    original = tiling.assign_batch
+
+    def sabotaged(points, check_unique=False):
+        arrays = original(points, check_unique)
+        green = arrays.phase == int(Phase.GREEN)
+        return type(arrays)(
+            canonical=arrays.canonical,
+            statement_index=arrays.statement_index,
+            time_tile=np.where(green, arrays.time_tile - 1, arrays.time_tile),
+            phase=arrays.phase,
+            space_tiles=arrays.space_tiles,
+            local_time=arrays.local_time,
+            local_space=arrays.local_space,
+        )
+
+    tiling.assign_batch = sabotaged  # type: ignore[method-assign]
+    tiling._schedule_arrays_cache = None
     with pytest.raises(ScheduleValidationError):
         check_legality(tiling)
 
