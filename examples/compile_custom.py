@@ -21,9 +21,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.compiler import HybridCompiler
-from repro.frontend import parse_stencil
-from repro.stencils import get_stencil, register_from_source, unregister
+from repro.api import (
+    HybridCompiler,
+    get_stencil,
+    parse_stencil,
+    register_from_source,
+    unregister,
+)
 
 
 def main() -> None:

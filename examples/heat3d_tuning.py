@@ -19,10 +19,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.compiler import HybridCompiler
+from repro.api import HybridCompiler, table4_configurations
 from repro.gpu.device import GTX470, NVS5200M
 from repro.model.preprocess import canonicalize
-from repro.pipeline import table4_configurations
 from repro.stencils import get_stencil
 from repro.tiling.hybrid import TileSizes
 from repro.tiling.tile_size import TileSizeModel, select_tile_sizes

@@ -20,7 +20,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.compiler import HybridCompiler
+from repro.api import HybridCompiler
 from repro.gpu.device import GTX470, NVS5200M
 from repro.stencils import get_stencil
 from repro.tiling.hybrid import TileSizes

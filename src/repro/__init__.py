@@ -14,8 +14,9 @@ described in the paper:
 * experiment harnesses regenerating every table and figure
   (:mod:`repro.experiments`).
 
-The most convenient entry points are :class:`repro.compiler.HybridCompiler`
-and the helpers in :mod:`repro.stencils`.
+The supported library surface is :mod:`repro.api` — the staged pipeline
+(:class:`repro.api.Session`) plus the classic :class:`HybridCompiler` façade
+— together with the helpers in :mod:`repro.stencils`.
 """
 
 from importlib import import_module
@@ -28,8 +29,9 @@ __version__ = "1.0.0"
 _EXPORTS = {
     "HybridCompiler": "repro.compiler",
     "CompilationResult": "repro.compiler",
-    "OptimizationConfig": "repro.pipeline",
-    "TileSizes": "repro.pipeline",
+    "Session": "repro.api",
+    "OptimizationConfig": "repro.api",
+    "TileSizes": "repro.api",
     "get_stencil": "repro.stencils",
     "list_stencils": "repro.stencils",
     "parse_stencil": "repro.frontend",

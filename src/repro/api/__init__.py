@@ -1,0 +1,81 @@
+"""``repro.api`` — the public, staged compilation API.
+
+This package is the supported library surface of the reproduction.  Clients
+(the ``hexcc`` CLI, the bench runner, the experiment harnesses, the examples
+and downstream users) program against it instead of reaching into
+``repro.compiler`` internals:
+
+* :class:`Session` / :class:`PipelineRun` — the staged pass pipeline with
+  typed artifacts, ``stop_after=``, artifact injection and per-pass
+  instrumentation;
+* the artifact types (:class:`ParsedProgram` → :class:`CanonicalIR` →
+  :class:`TilingPlan` → :class:`MemoryPlan` → :class:`GeneratedCode` →
+  :class:`AnalysisBundle`) and the :data:`STAGES` ordering;
+* the strategy registry (:func:`register_strategy`, :func:`get_strategy`,
+  :func:`list_strategies`) selecting ``hybrid`` / ``classical`` / ``diamond``
+  tilings by name;
+* the compilation options (:class:`OptimizationConfig`, :class:`TileSizes`,
+  :func:`table4_configurations`), absorbed from the deprecated
+  ``repro.pipeline`` module;
+* the classic façades (:class:`HybridCompiler`, :class:`CompilationResult`),
+  now thin wrappers over a :class:`Session` run.
+
+The names below are re-exported lazily so importing :mod:`repro.api` stays
+cheap; ``__all__`` is pinned by an API-snapshot test
+(``tests/api/test_surface.py``) — extending the surface is a deliberate,
+test-acknowledged act.
+"""
+
+from importlib import import_module
+from typing import Any
+
+_EXPORTS = {
+    # staged pipeline
+    "Session": "repro.api.session",
+    "PipelineRun": "repro.api.session",
+    "PassEvent": "repro.api.session",
+    "CompilationRequest": "repro.api.session",
+    # stage artifacts
+    "STAGES": "repro.api.artifacts",
+    "ParsedProgram": "repro.api.artifacts",
+    "CanonicalIR": "repro.api.artifacts",
+    "TilingPlan": "repro.api.artifacts",
+    "MemoryPlan": "repro.api.artifacts",
+    "GeneratedCode": "repro.api.artifacts",
+    "AnalysisBundle": "repro.api.artifacts",
+    # strategy registry
+    "TilingStrategy": "repro.api.strategies",
+    "register_strategy": "repro.api.strategies",
+    "get_strategy": "repro.api.strategies",
+    "list_strategies": "repro.api.strategies",
+    # compilation options
+    "OptimizationConfig": "repro.api.config",
+    "TileSizes": "repro.api.config",
+    "table4_configurations": "repro.api.config",
+    # errors
+    "PipelineError": "repro.api.errors",
+    "StrategyError": "repro.api.errors",
+    "SimulationMismatchError": "repro.api.errors",
+    # classic façades
+    "HybridCompiler": "repro.compiler",
+    "CompilationResult": "repro.compiler",
+    # program sources: the stencil library and the C front end
+    "get_stencil": "repro.stencils",
+    "list_stencils": "repro.stencils",
+    "register_from_source": "repro.stencils",
+    "unregister": "repro.stencils",
+    "parse_stencil": "repro.frontend",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    return getattr(import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

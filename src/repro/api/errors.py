@@ -1,0 +1,20 @@
+"""Exceptions raised by the staged pipeline API."""
+
+from __future__ import annotations
+
+
+class PipelineError(Exception):
+    """A stage of the pipeline could not run or produced an invalid artifact."""
+
+
+class StrategyError(PipelineError):
+    """A tiling strategy is unknown or cannot handle the requested program."""
+
+
+class SimulationMismatchError(PipelineError, AssertionError):
+    """Functional simulation diverged from the NumPy reference interpreter.
+
+    Subclasses :class:`AssertionError` for backwards compatibility with
+    callers of :meth:`CompilationResult.simulate_and_check` written before
+    this type existed.
+    """

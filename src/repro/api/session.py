@@ -1,0 +1,357 @@
+"""The staged pipeline API: :class:`Session`, :class:`PipelineRun`, events.
+
+A :class:`Session` is the library entry point to the compiler.  It owns the
+target device, the tiling-strategy selection, a pass-granular in-memory LRU
+and (optionally) the persistent on-disk artefact cache, and it orchestrates
+the passes of :data:`repro.api.passes.PIPELINE_PASSES`:
+
+``parse → canonicalize → tiling → memory → codegen → analysis``
+
+Key capabilities the monolithic ``HybridCompiler.compile()`` never exposed:
+
+* ``stop_after="tiling"`` — run any prefix of the pipeline and inspect the
+  typed artifact it produced;
+* ``inject={"tiling": plan}`` — re-enter the pipeline with a hand-modified
+  artifact (e.g. a custom :class:`TilingPlan`) and let the downstream passes
+  consume it;
+* per-pass instrumentation — every run records a :class:`PassEvent` (wall
+  time, cache provenance, artifact counters) per executed pass, and
+  observers receive events as they happen;
+* caching at **pass granularity** — unchanged prefixes of the pipeline are
+  reused from the in-memory LRU or the disk cache even when downstream
+  options (optimisation configuration, thread shape, device) change.
+
+:class:`repro.compiler.HybridCompiler` is a thin façade over this class.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.api.artifacts import STAGE_ARTIFACTS, STAGES
+from repro.api.config import OptimizationConfig
+from repro.api.errors import PipelineError
+from repro.api.passes import PIPELINE_PASSES
+from repro.api.strategies import get_strategy
+from repro.cache import DiskCache
+from repro.gpu.device import GPUDevice, GTX470
+from repro.model.program import StencilProgram
+from repro.tiling.hybrid import TileSizes
+
+#: Stage the façade (and ``Session.run`` by default) stops after: analysis is
+#: cheap but on-demand, matching the lazy ``CompilationResult`` accessors.
+DEFAULT_STOP = "codegen"
+
+
+@dataclass(frozen=True)
+class CompilationRequest:
+    """Everything one pipeline run depends on (the immutable run inputs)."""
+
+    program: StencilProgram | str
+    tile_sizes: TileSizes | None
+    config: OptimizationConfig
+    storage: str
+    threads: tuple[int, ...] | None
+    strategy: str
+    device: GPUDevice
+
+
+@dataclass(frozen=True)
+class PassEvent:
+    """Instrumentation record of one executed pass."""
+
+    name: str
+    wall_s: float
+    source: str  # "computed" | "memory" | "disk" | "injected"
+    counters: Mapping[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return f"{self.name:<12} {self.wall_s * 1e3:9.3f} ms  [{self.source}]"
+
+
+def _program_digest(program: StencilProgram) -> str:
+    """Content digest of one program, pinning its full problem instance.
+
+    The regenerated C source alone is not enough: library stencils that keep
+    their extents symbolic (the Figure-1 ``jacobi_2d`` source uses ``N``/``T``
+    with no ``#define`` header) regenerate identical text at every problem
+    size, so the sizes and step count are hashed explicitly.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"name={program.name};sizes={tuple(program.sizes)};"
+        f"steps={program.time_steps}\n".encode()
+    )
+    digest.update(program.c_source().encode())
+    return digest.hexdigest()
+
+
+def _artifact_counters(artifact: Any) -> dict[str, float]:
+    """The numeric subset of an artifact summary (instrumentation counters)."""
+    counters: dict[str, float] = {}
+    summary = getattr(artifact, "summary", None)
+    if summary is None:
+        return counters
+    for name, value in summary().items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        counters[name] = value
+    return counters
+
+
+class PipelineRun:
+    """The artifacts and instrumentation events of one :meth:`Session.run`."""
+
+    def __init__(
+        self,
+        request: CompilationRequest,
+        artifacts: dict[str, Any],
+        events: list[PassEvent],
+        stop_after: str,
+    ) -> None:
+        self.request = request
+        self.artifacts = artifacts
+        self.events = events
+        self.stop_after = stop_after
+
+    def artifact(self, stage: str) -> Any:
+        """The artifact one stage produced; raises if the stage did not run."""
+        if stage not in STAGES:
+            raise ValueError(f"unknown pipeline stage {stage!r}; known: {list(STAGES)}")
+        try:
+            return self.artifacts[stage]
+        except KeyError:
+            raise PipelineError(
+                f"stage {stage!r} did not run (stopped after {self.stop_after!r})"
+            ) from None
+
+    @property
+    def stages_run(self) -> tuple[str, ...]:
+        """Names of the passes that actually ran, in order."""
+        return tuple(event.name for event in self.events)
+
+    def timings(self) -> dict[str, float]:
+        """Per-pass wall time in seconds, keyed by pass name."""
+        return {event.name: event.wall_s for event in self.events}
+
+    def result(self):
+        """The classic :class:`repro.compiler.CompilationResult` façade view."""
+        from repro.compiler import CompilationResult
+
+        code = self.artifact("codegen")
+        plan = self.artifact("tiling")
+        canonical_ir = self.artifact("canonicalize")
+        return CompilationResult(
+            program=canonical_ir.canonical.program,
+            canonical=canonical_ir.canonical,
+            tiling=plan.tiling,
+            config=self.request.config,
+            shared_plan=self.artifact("memory").plan,
+            cuda_source=code.cuda_source,
+            core_profiles=list(code.core_profiles),
+            tile_cost=plan.tile_cost,
+            device=self.request.device,
+        )
+
+    def describe(self) -> str:
+        """Human-readable stage-by-stage dump (used by ``hexcc inspect``)."""
+        lines: list[str] = []
+        for event in self.events:
+            lines.append(event.describe())
+            summary = self.artifacts[event.name].summary()
+            for name, value in summary.items():
+                lines.append(f"    {name:<24} {value}")
+        total = sum(event.wall_s for event in self.events)
+        lines.append(f"{'total':<12} {total * 1e3:9.3f} ms")
+        return "\n".join(lines)
+
+
+class Session:
+    """A configured pipeline: device + strategy + caches + observers.
+
+    Parameters
+    ----------
+    device:
+        Target GPU model (defaults to the paper's GTX 470).
+    strategy:
+        Default tiling strategy name (``"hybrid"``, ``"classical"``,
+        ``"diamond"`` or any registered name); overridable per run.
+    disk_cache:
+        Optional persistent artefact cache shared across processes; artifacts
+        are stored at pass granularity.
+    cache_capacity:
+        Size of the in-memory pass-artifact LRU.
+    observers:
+        Callables invoked with each :class:`PassEvent` as passes finish.
+    """
+
+    def __init__(
+        self,
+        device: GPUDevice = GTX470,
+        strategy: str = "hybrid",
+        disk_cache: DiskCache | None = None,
+        cache_capacity: int = 256,
+        observers: Iterable[Callable[[PassEvent], None]] = (),
+    ) -> None:
+        get_strategy(strategy)  # fail fast on unknown names
+        self.device = device
+        self.strategy = strategy
+        self.disk_cache = disk_cache
+        self.cache_capacity = cache_capacity
+        self.observers = tuple(observers)
+        self._artifact_cache: OrderedDict[str, Any] = OrderedDict()
+
+    def cache_clear(self) -> None:
+        """Drop every memoised pass artifact (in-memory layer only)."""
+        self._artifact_cache.clear()
+
+    # -- the pass manager ---------------------------------------------------------
+
+    def run(
+        self,
+        program: StencilProgram | str,
+        tile_sizes: TileSizes | None = None,
+        config: OptimizationConfig | None = None,
+        storage: str = "expanded",
+        threads: tuple[int, ...] | None = None,
+        strategy: str | None = None,
+        stop_after: str | None = None,
+        inject: Mapping[str, Any] | None = None,
+    ) -> PipelineRun:
+        """Run the pipeline (or a prefix of it) on one stencil program.
+
+        Parameters
+        ----------
+        program:
+            A :class:`StencilProgram` or raw Figure-1-style C source text.
+        tile_sizes:
+            Explicit ``h, w0..wn``; strategy/model-selected when omitted.
+        config:
+            Optimisation configuration (paper's best, (f), when omitted).
+        storage:
+            Dependence storage model passed to the canonicaliser.
+        threads:
+            Thread-block shape override for code generation.
+        strategy:
+            Tiling strategy name for this run (session default when omitted).
+        stop_after:
+            Last stage to execute (``"codegen"`` by default; use
+            ``"analysis"`` for the full pipeline).
+        inject:
+            Pre-built artifacts keyed by stage name.  Injected stages do not
+            run; downstream passes consume the injected artifact and are not
+            cached (their inputs are no longer derivable from the request).
+        """
+        stop = stop_after or DEFAULT_STOP
+        if stop not in STAGES:
+            raise ValueError(f"unknown pipeline stage {stop!r}; known: {list(STAGES)}")
+        inject = dict(inject or {})
+        for stage, artifact in inject.items():
+            if stage not in STAGES:
+                raise ValueError(
+                    f"cannot inject unknown stage {stage!r}; known: {list(STAGES)}"
+                )
+            expected = STAGE_ARTIFACTS[stage]
+            if not isinstance(artifact, expected):
+                raise PipelineError(
+                    f"injected artifact for stage {stage!r} must be a "
+                    f"{expected.__name__}, got {type(artifact).__name__}"
+                )
+        request = CompilationRequest(
+            program=program,
+            tile_sizes=tile_sizes,
+            config=config or OptimizationConfig.default(),
+            storage=storage,
+            threads=threads,
+            strategy=strategy or self.strategy,
+            device=self.device,
+        )
+        get_strategy(request.strategy)  # fail fast before running any pass
+
+        artifacts: dict[str, Any] = {}
+        events: list[PassEvent] = []
+        parent_key: str | None = ""  # "" = pipeline root; None = uncacheable
+        program_digest = ""
+        for pipeline_pass in PIPELINE_PASSES:
+            start = time.perf_counter()
+            injected = inject.get(pipeline_pass.name)
+            if injected is not None:
+                artifact, source = injected, "injected"
+                parent_key = None  # downstream keys are no longer derivable
+            else:
+                key = None
+                if parent_key is not None and pipeline_pass.cacheable:
+                    key = pipeline_pass.key(
+                        request, artifacts, parent_key or None, program_digest
+                    )
+                    if key is None:
+                        # A cacheable pass that cannot key its output (e.g. a
+                        # user-registered strategy whose code the fingerprint
+                        # cannot see): stop caching from here on.
+                        parent_key = None
+                artifact, source = self._fetch_or_run(
+                    pipeline_pass, key, request, artifacts
+                )
+                if key is not None:
+                    # Uncacheable-by-design passes (parse) leave the chain
+                    # intact: their content reaches downstream keys via the
+                    # program digest.
+                    parent_key = key
+            artifacts[pipeline_pass.name] = artifact
+            if pipeline_pass.name == "parse":
+                program_digest = _program_digest(artifact.program)
+            event = PassEvent(
+                name=pipeline_pass.name,
+                wall_s=time.perf_counter() - start,
+                source=source,
+                counters=_artifact_counters(artifact),
+            )
+            events.append(event)
+            for observer in self.observers:
+                observer(event)
+            if pipeline_pass.name == stop:
+                break
+        return PipelineRun(request, artifacts, events, stop)
+
+    # -- cache layering -----------------------------------------------------------
+
+    def _fetch_or_run(
+        self,
+        pipeline_pass: Any,
+        key: str | None,
+        request: CompilationRequest,
+        artifacts: Mapping[str, Any],
+    ) -> tuple[Any, str]:
+        """Memory LRU → disk cache → compute, returning (artifact, source)."""
+        if key is not None:
+            cached = self._artifact_cache.get(key)
+            if cached is not None:
+                self._artifact_cache.move_to_end(key)
+                return cached, "memory"
+            if self.disk_cache is not None:
+                fetched = self.disk_cache.get(key)
+                if isinstance(fetched, pipeline_pass.produces):
+                    self._remember(key, fetched)
+                    return fetched, "disk"
+        artifact = pipeline_pass.run(request, artifacts)
+        if key is not None:
+            self._remember(key, artifact)
+            if self.disk_cache is not None:
+                self.disk_cache.put(key, artifact)
+        return artifact, "computed"
+
+    def _remember(self, key: str, artifact: Any) -> None:
+        if len(self._artifact_cache) >= self.cache_capacity:
+            self._artifact_cache.popitem(last=False)
+        self._artifact_cache[key] = artifact
+        self._artifact_cache.move_to_end(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(device={self.device.name!r}, strategy={self.strategy!r}, "
+            f"disk_cache={self.disk_cache!r})"
+        )

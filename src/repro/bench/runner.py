@@ -2,7 +2,7 @@
 
 Two suites measure the cost of this reproduction's own machinery:
 
-* **compile** — the full :class:`~repro.compiler.HybridCompiler` pipeline on
+* **compile** — the full :class:`~repro.api.HybridCompiler` pipeline on
   every stencil at its paper-scale problem size, with model-selected tile
   sizes.  Each repeat uses a fresh compiler so the in-memory memo does not
   short-circuit the measurement; with a disk cache
@@ -89,7 +89,7 @@ def measure_compile_stencil(
 
     Returns ``(stencil, report_entry, cache_counters)``.
     """
-    from repro.compiler import HybridCompiler
+    from repro.api import HybridCompiler
     from repro.stencils import get_stencil
 
     program = get_stencil(name)
@@ -124,7 +124,7 @@ def measure_simulate_stencil(
     name: str, repeats: int, disk_cache: DiskCache | None = None
 ) -> tuple[str, dict[str, Any], dict[str, int]]:
     """One simulate-suite measurement (picklable; runs in engine workers)."""
-    from repro.compiler import HybridCompiler
+    from repro.api import HybridCompiler
     from repro.stencils import get_definition, get_stencil
 
     definition = get_definition(name)
@@ -204,7 +204,7 @@ def run_bench(options: BenchOptions) -> dict[str, Any]:
     """Run the requested suites and return a schema-valid report."""
     unknown = [s for s in options.suites if s not in ("compile", "simulate")]
     if unknown:
-        raise ValueError(f"unknown bench suites {unknown}; know compile, simulate")
+        raise ValueError(f"unknown bench suites {unknown}; known: compile, simulate")
     repeats = options.effective_repeats()
     stencils = options.effective_stencils()
     suites: dict[str, dict[str, Any]] = {}

@@ -8,11 +8,11 @@ processes of the parallel execution engine — skip recompilation entirely.
 """
 
 from repro.cache.disk import CacheStats, DiskCache, default_cache_dir
-from repro.cache.keys import compilation_key
+from repro.cache.keys import stage_key
 
 __all__ = [
     "CacheStats",
     "DiskCache",
-    "compilation_key",
     "default_cache_dir",
+    "stage_key",
 ]

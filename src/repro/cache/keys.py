@@ -1,13 +1,15 @@
-"""Content-hash cache keys for compilation artefacts.
+"""Content-hash cache keys for pipeline-stage artefacts.
 
-A key must identify everything the pipeline output depends on: the program
-*content* (not its object identity — two sessions never share ids), the tile
-sizes, the optimisation configuration, the storage model, the thread shape,
-the target device, the artefact schema and the compiler code itself
-(:func:`code_fingerprint`).  The program content is its
-regenerated C source (:meth:`repro.model.program.StencilProgram.c_source`
-round-trips bit-for-bit through the front end), which also covers the grid
-sizes and time-step count via the ``#define`` header.
+A key must identify everything a stage's output depends on: the program
+*content* (not its object identity — two sessions never share ids; the
+content is its regenerated C source, which
+:meth:`repro.model.program.StencilProgram.c_source` round-trips bit-for-bit
+through the front end, covering grid sizes and time steps via the
+``#define`` header), the options the stage reads, the tiling strategy, the
+stage's artifact schema version, the key of the upstream stage and the
+compiler code itself (:func:`code_fingerprint`).
+:func:`stage_key` assembles all of that; the session's pass manager
+(:mod:`repro.api.session`) supplies the per-stage parts.
 """
 
 from __future__ import annotations
@@ -17,13 +19,6 @@ from functools import lru_cache
 from pathlib import Path
 
 from repro.cache.disk import SCHEMA_VERSION
-
-
-def _describe(value: object) -> str:
-    """A stable textual form of one key component."""
-    if value is None:
-        return "none"
-    return repr(value)
 
 
 @lru_cache(maxsize=1)
@@ -52,29 +47,34 @@ def code_fingerprint() -> str:
     return digest.hexdigest()
 
 
-def compilation_key(
-    program,
-    tile_sizes=None,
-    config=None,
-    storage: str = "expanded",
-    threads=None,
-    device=None,
+def stage_key(
+    stage: str,
+    stage_schema: int,
+    strategy: str,
+    parts: list[str],
+    parent: str | None = None,
 ) -> str:
-    """SHA-256 key of one :meth:`HybridCompiler.compile` invocation."""
+    """SHA-256 key of one pipeline stage's artifact.
+
+    Every stage key includes the global artefact schema, the compiler code
+    fingerprint, the stage name, the **stage artifact schema version** and the
+    **tiling strategy name** — so a ``classical`` plan can never be served
+    for a ``hybrid`` request, and an artifact layout change invalidates only
+    its own stage.  ``parent`` chains the key of the upstream stage, making
+    each key a content hash of the whole prefix of the pipeline that produced
+    the artifact.
+    """
     digest = hashlib.sha256()
-    parts = [
+    components = [
         f"schema={SCHEMA_VERSION}",
         f"code={code_fingerprint()}",
-        f"program-name={program.name}",
-        f"sizes={tuple(program.sizes)}",
-        f"steps={program.time_steps}",
-        f"tile-sizes={_describe(tile_sizes)}",
-        f"config={_describe(config)}",
-        f"storage={storage}",
-        f"threads={_describe(threads)}",
-        f"device={device.name if device is not None else 'none'}",
+        f"stage={stage}",
+        f"stage-schema={stage_schema}",
+        f"strategy={strategy}",
+        f"parent={parent or 'root'}",
+        *parts,
     ]
-    digest.update("\n".join(parts).encode())
-    digest.update(b"\n--program-source--\n")
-    digest.update(program.c_source().encode())
+    digest.update("\n".join(components).encode())
     return digest.hexdigest()
+
+

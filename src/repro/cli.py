@@ -1,4 +1,7 @@
-"""Command-line interface: compile, validate, simulate and benchmark stencils.
+"""Command-line interface: compile, inspect, validate, simulate and benchmark.
+
+The CLI is a pure client of :mod:`repro.api` — the staged pipeline API — and
+never reaches into compiler internals.
 
 Examples
 --------
@@ -6,6 +9,8 @@ Examples
 
     hexcc list
     hexcc compile heat_3d --h 2 --widths 7,10,32 --show-cuda
+    hexcc inspect heat_2d --stop-after tiling          # staged pipeline view
+    hexcc inspect jacobi_2d --strategy diamond --stop-after tiling --json
     hexcc validate jacobi_2d --size 20 --steps 10
     hexcc compile-file examples/custom_stencil.c --show-cuda
     hexcc validate-file examples/custom_stencil.c --sizes 16,16 --steps 6
@@ -16,28 +21,76 @@ Examples
     hexcc cache stats      # on-disk compile cache usage
     hexcc cache clear      # drop every cached artefact
 
+Exit codes are uniform across every subcommand: **0** on success, **1** on a
+compile/validation failure, **2** on a usage error (unknown stencil, table,
+strategy, stage or malformed option).
+
 Every compiling command shares a persistent on-disk artefact cache
 (``~/.cache/hexcc`` by default, override with ``$HEXCC_CACHE_DIR``, disable
-with ``$HEXCC_CACHE_DISABLE=1``), so repeated invocations skip the pipeline.
+with ``$HEXCC_CACHE_DISABLE=1``), layered at pass granularity, so repeated
+invocations skip unchanged pipeline prefixes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.api import (
+    STAGES,
+    HybridCompiler,
+    PipelineError,
+    Session,
+    TileSizes,
+    list_strategies,
+)
 from repro.cache import DiskCache
-from repro.compiler import HybridCompiler
 from repro.frontend import FrontendError, parse_stencil_file
 from repro.gpu.device import GTX470, NVS5200M, get_device
 from repro.stencils import get_definition, get_stencil, list_stencils
-from repro.tiling.hybrid import TileSizes
+
+#: Uniform exit codes (see the module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+
+
+class UsageError(Exception):
+    """Invalid user input that argparse cannot catch (exit code 2)."""
+
+
+def _stencil_name(raw: str) -> str:
+    """Canonical registry name; ``heat-2d`` and ``heat_2d`` both work."""
+    return raw.replace("-", "_")
+
+
+def _get_stencil_checked(raw_name: str, **kwargs):
+    name = _stencil_name(raw_name)
+    try:
+        return get_stencil(name, **kwargs)
+    except KeyError:
+        raise UsageError(
+            f"unknown stencil {name!r}; known: {', '.join(list_stencils())}"
+        ) from None
+
+
+def _get_device_checked(name: str):
+    try:
+        return get_device(name)
+    except (KeyError, ValueError) as error:
+        raise UsageError(str(error)) from None
 
 
 def _parse_tile_sizes(args: argparse.Namespace) -> TileSizes | None:
     if args.widths is None:
         return None
-    widths = tuple(int(w) for w in args.widths.split(","))
+    try:
+        widths = tuple(int(w) for w in args.widths.split(","))
+    except ValueError:
+        raise UsageError(
+            f"--widths expects comma separated integers, got {args.widths!r}"
+        ) from None
     return TileSizes(args.h, widths)
 
 
@@ -56,12 +109,12 @@ def _flush_cache(cache: DiskCache | None) -> None:
 def _cmd_list(_: argparse.Namespace) -> int:
     for name in list_stencils():
         print(name)
-    return 0
+    return EXIT_OK
 
 
 def _compile_and_report(program, args: argparse.Namespace) -> int:
     cache = _disk_cache(args)
-    compiler = HybridCompiler(get_device(args.device), disk_cache=cache)
+    compiler = HybridCompiler(_get_device_checked(args.device), disk_cache=cache)
     compiled = compiler.compile(program, tile_sizes=_parse_tile_sizes(args))
     _flush_cache(cache)
     print(compiled.describe())
@@ -70,7 +123,7 @@ def _compile_and_report(program, args: argparse.Namespace) -> int:
     if args.show_cuda:
         print()
         print(compiled.cuda_source)
-    return 0
+    return EXIT_OK
 
 
 def _validate_and_report(program, args: argparse.Namespace) -> int:
@@ -79,20 +132,76 @@ def _validate_and_report(program, args: argparse.Namespace) -> int:
         program, tile_sizes=_parse_tile_sizes(args)
     )
     _flush_cache(cache)
-    print(compiled.validate())
+    report = compiled.validate()
+    print(report)
+    if not report.ok:
+        print("schedule validation failed", file=sys.stderr)
+        return EXIT_FAILURE
     compiled.simulate_and_check()
     print("functional simulation matches the NumPy reference")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
-    return _compile_and_report(get_stencil(args.stencil), args)
+    return _compile_and_report(_get_stencil_checked(args.stencil), args)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    sizes = (args.size,) * get_definition(args.stencil).dimensions
-    program = get_stencil(args.stencil, sizes=sizes, steps=args.steps)
+    name = _stencil_name(args.stencil)
+    try:
+        definition = get_definition(name)
+    except KeyError:
+        raise UsageError(
+            f"unknown stencil {name!r}; known: {', '.join(list_stencils())}"
+        ) from None
+    sizes = (args.size,) * definition.dimensions
+    program = _get_stencil_checked(name, sizes=sizes, steps=args.steps)
     return _validate_and_report(program, args)
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    """Run a pipeline prefix and dump artifact summaries + per-pass timings."""
+    if args.strategy not in list_strategies():
+        raise UsageError(
+            f"unknown tiling strategy {args.strategy!r}; "
+            f"known: {', '.join(list_strategies())}"
+        )
+    program = _get_stencil_checked(args.stencil)
+    cache = _disk_cache(args)
+    session = Session(
+        device=_get_device_checked(args.device),
+        strategy=args.strategy,
+        disk_cache=cache,
+    )
+    run = session.run(
+        program, tile_sizes=_parse_tile_sizes(args), stop_after=args.stop_after
+    )
+    _flush_cache(cache)
+    if args.json:
+        payload = {
+            "stencil": program.name,
+            "strategy": run.request.strategy,
+            "device": session.device.name,
+            "stop_after": run.stop_after,
+            "passes": [
+                {
+                    "name": event.name,
+                    "wall_s": event.wall_s,
+                    "source": event.source,
+                    "counters": dict(event.counters),
+                }
+                for event in run.events
+            ],
+            "artifacts": {
+                stage: run.artifacts[stage].summary() for stage in run.stages_run
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"pipeline of {program.name} (strategy={run.request.strategy}, "
+              f"stop after {run.stop_after}):")
+        print(run.describe())
+    return EXIT_OK
 
 
 def _sizes_arg(text: str) -> tuple[int, ...]:
@@ -146,20 +255,17 @@ def _render_table(number: int, jobs: int, cache: DiskCache | None) -> str:
         return format_table4(run_ablation(jobs=jobs, disk_cache=cache))
     if number == 5:
         return format_table5(run_counter_ablation(jobs=jobs, disk_cache=cache))
-    raise ValueError(f"unknown table {number}; the paper has tables 1-5")
+    raise UsageError(f"unknown table {number}; the paper has tables 1-5")
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
     cache = _disk_cache(args)
     try:
         text = _render_table(args.number, args.jobs, cache)
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 1
     finally:
         _flush_cache(cache)
     print(text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -170,12 +276,9 @@ def _cmd_tables(args: argparse.Namespace) -> int:
             if index:
                 print()
             print(_render_table(number, args.jobs, cache))
-    except ValueError as error:
-        print(str(error), file=sys.stderr)
-        return 1
     finally:
         _flush_cache(cache)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -187,7 +290,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     elif args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached artefact(s) from {cache.root}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -212,21 +315,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
         )
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        raise UsageError(str(error)) from None
     print(format_report(report))
 
     if args.json is not None:
         path = save_report(report, args.json)
         print(f"wrote {path}")
-        return 0
+        return EXIT_OK
     out_dir = Path(args.out_dir)
     for suite_name, suite in report["suites"].items():
         single = dict(report)
         single["suites"] = {suite_name: suite}
         path = save_report(single, out_dir / f"BENCH_{suite_name}.json")
         print(f"wrote {path}")
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -246,6 +348,29 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--show-cuda", action="store_true")
     _add_no_cache_argument(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
+
+    inspect_parser = sub.add_parser(
+        "inspect",
+        help="run a pipeline prefix and dump stage artifacts + per-pass timings",
+    )
+    inspect_parser.add_argument("stencil")
+    inspect_parser.add_argument(
+        "--stop-after", choices=list(STAGES), default="analysis", metavar="STAGE",
+        help=f"last stage to run (one of: {', '.join(STAGES)}; default: analysis)",
+    )
+    inspect_parser.add_argument(
+        "--strategy", default="hybrid",
+        help="tiling strategy name (default: hybrid; see repro.api.list_strategies)",
+    )
+    inspect_parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable report instead of the text dump",
+    )
+    inspect_parser.add_argument("--device", default="gtx470")
+    inspect_parser.add_argument("--h", type=int, default=2)
+    inspect_parser.add_argument("--widths", default=None, help="comma separated w0,w1,...")
+    _add_no_cache_argument(inspect_parser)
+    inspect_parser.set_defaults(func=_cmd_inspect)
 
     validate_parser = sub.add_parser(
         "validate", help="exhaustively validate and simulate a small instance"
@@ -362,15 +487,28 @@ def _add_no_cache_argument(parser: argparse.ArgumentParser) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_:
+        # argparse exits 2 on usage errors and 0 for --help; normalise both
+        # into return codes so embedding callers (and tests) see an int.
+        return EXIT_OK if exit_.code in (0, None) else EXIT_USAGE
     try:
         return args.func(args)
+    except UsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
     except FrontendError as error:
         print(error.pretty(), file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
+    except (PipelineError, ValueError) as error:
+        # Strategy/pipeline failures, invalid tiling parameters and
+        # simulation mismatches (SimulationMismatchError is a PipelineError).
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_FAILURE
     except OSError as error:
         print(f"error: {error.filename or ''}: {error.strerror}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ from repro.gpu.counters import PerformanceCounters
 from repro.gpu.device import GPUDevice
 from repro.gpu.memory import CoalescingModel, SharedMemoryModel
 from repro.gpu.perf_model import LaunchConfiguration, PerformanceModel, PerformanceReport
-from repro.pipeline import OptimizationConfig
+from repro.api.config import OptimizationConfig
 from repro.tiling.hybrid import HybridTiling
 
 

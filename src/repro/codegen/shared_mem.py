@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.model.program import StencilProgram
-from repro.pipeline import OptimizationConfig
+from repro.api.config import OptimizationConfig
 from repro.tiling.hybrid import HybridTiling
 
 

@@ -1,6 +1,14 @@
-"""The end-to-end hybrid hexagonal/classical compiler.
+"""The classic compiler façade over the staged :mod:`repro.api` pipeline.
 
-:class:`HybridCompiler` strings the whole pipeline of the paper together:
+:class:`HybridCompiler` used to *be* the pipeline; it is now a thin façade
+over a :class:`repro.api.Session` run with the ``hybrid`` strategy, kept so
+the original entry point — ``HybridCompiler().compile(program)`` returning a
+:class:`CompilationResult` with every intermediate artefact — continues to
+work unchanged.  New code should prefer :class:`repro.api.Session`, which
+additionally offers ``stop_after=``, artifact injection, strategy selection
+and per-pass instrumentation.
+
+The stages the façade drives (see :mod:`repro.api.passes`):
 
 1. canonicalise the stencil program and compute its dependences (Section 3.2);
 2. select tile sizes with the load-to-compute model, unless explicit sizes are
@@ -9,9 +17,6 @@
 4. plan shared memory usage (Section 4.2);
 5. generate CUDA source (Section 4.1/4.3) and the pseudo-PTX of the core loop;
 6. build the analytic execution profile used for performance estimation.
-
-The :class:`CompilationResult` bundles every intermediate artefact so tests,
-examples and benchmarks can inspect exactly what the compiler did.
 """
 
 from __future__ import annotations
@@ -22,20 +27,20 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.cache import DiskCache, compilation_key
+from repro.api.config import OptimizationConfig
+from repro.api.session import Session
+from repro.cache import DiskCache
 from repro.codegen.analysis import AnalyticProfiler, ExecutionEstimate
-from repro.codegen.cuda import CudaCodeGenerator
-from repro.codegen.kernel_ir import CoreLoopProfile, analyze_core_loop
+from repro.codegen.kernel_ir import CoreLoopProfile
 from repro.codegen.ptx import PtxSummary, emit_core_ptx
-from repro.codegen.shared_mem import SharedMemoryPlan, plan_shared_memory
+from repro.codegen.shared_mem import SharedMemoryPlan
 from repro.gpu.device import GPUDevice, GTX470
 from repro.gpu.perf_model import PerformanceModel, PerformanceReport
 from repro.gpu.simulator import FunctionalSimulator, SimulationResult
-from repro.model.preprocess import CanonicalForm, canonicalize
+from repro.model.preprocess import CanonicalForm
 from repro.model.program import StencilProgram
-from repro.pipeline import OptimizationConfig
 from repro.tiling.hybrid import HybridTiling, TileSizes
-from repro.tiling.tile_size import TileCostEstimate, select_tile_sizes
+from repro.tiling.tile_size import TileCostEstimate
 from repro.tiling.validate import ValidationReport, validate_hybrid_tiling
 
 
@@ -101,7 +106,9 @@ class CompilationResult:
             initial={k: v.copy() for k, v in initial.items()}
         )
         if not result.matches_reference(reference):
-            raise AssertionError(
+            from repro.api.errors import SimulationMismatchError
+
+            raise SimulationMismatchError(
                 f"functional simulation of {self.program.name} diverges from the reference"
             )
         return result
@@ -118,23 +125,27 @@ class CompilationResult:
 class HybridCompiler:
     """Compile stencil programs with hybrid hexagonal/classical tiling.
 
+    A façade over :class:`repro.api.Session` with the ``hybrid`` strategy.
     Two cache layers sit in front of the pipeline:
 
-    * an **in-memory LRU** per compiler instance, keyed by the program (by
-      identity), the tile sizes and the remaining pipeline options — hits
-      refresh the entry's recency, evictions drop the least recently *used*
-      entry;
-    * an optional **on-disk cache** (:class:`repro.cache.DiskCache`), keyed
-      by a content hash of the program source and every pipeline option, so
-      separate processes and separate runs share compiled artefacts.  Pass
+    * an **in-memory result memo** per compiler instance, keyed by the program
+      (by identity), the tile sizes and the remaining pipeline options — hits
+      refresh the entry's recency and preserve result identity, evictions
+      drop the least recently *used* entry;
+    * the session's pass-granular caches: an artifact LRU plus an optional
+      **on-disk cache** (:class:`repro.cache.DiskCache`), keyed per pass by a
+      content hash chaining the program source, the strategy, every relevant
+      option and the stage schema version, so separate processes share
+      compiled artefacts — and unchanged pipeline prefixes are reused even
+      when only downstream options change.  Pass
       ``disk_cache=DiskCache.default()`` (what the ``hexcc`` CLI does) to
-      enable it.
+      enable the persistent layer.
 
     The pipeline is deterministic and every artefact is derived from the
     key, so cached results are indistinguishable from fresh compilations.
     """
 
-    #: Maximum number of memoised compilations per compiler instance.
+    #: Maximum number of memoised compilation results per compiler instance.
     CACHE_CAPACITY = 64
 
     def __init__(
@@ -144,17 +155,19 @@ class HybridCompiler:
     ) -> None:
         self.device = device
         self.disk_cache = disk_cache
-        # LRU keyed by (program, tile_sizes, config, storage, threads).
+        self.session = Session(device=device, strategy="hybrid", disk_cache=disk_cache)
+        # Result memo keyed by (program, tile_sizes, config, storage, threads).
         # StencilProgram hashes/compares by identity and the key tuple holds
         # a strong reference to it, so the entry can never be confused with a
-        # different program reusing a recycled id — including results
-        # fetched from the disk cache, which reference their own unpickled
+        # different program reusing a recycled id — including results built
+        # from disk-cached artifacts, which reference their own unpickled
         # program copy rather than the caller's object.
         self._cache: OrderedDict[tuple, CompilationResult] = OrderedDict()
 
     def cache_clear(self) -> None:
-        """Drop all memoised compilation results (in-memory layer only)."""
+        """Drop all memoised results and pass artifacts (in-memory layers)."""
         self._cache.clear()
+        self.session.cache_clear()
 
     def compile(
         self,
@@ -192,56 +205,20 @@ class HybridCompiler:
             self._cache.move_to_end(key)
             return cached
 
-        disk_key: str | None = None
-        if self.disk_cache is not None:
-            disk_key = compilation_key(
-                program, tile_sizes, config, storage, threads, self.device
-            )
-            fetched = self.disk_cache.get(disk_key)
-            if isinstance(fetched, CompilationResult):
-                self._remember(key, fetched)
-                return fetched
-
-        canonical = canonicalize(program, storage=storage)
-
-        tile_cost: TileCostEstimate | None = None
-        if tile_sizes is None:
-            tile_cost = select_tile_sizes(
-                canonical,
-                shared_memory_limit=self.device.shared_memory_per_sm,
-                warp_size=self.device.warp_size,
-                inter_tile_reuse=config.inter_tile_reuse != "none",
-            )
-            tile_sizes = tile_cost.sizes
-
-        tiling = HybridTiling(canonical, tile_sizes)
-        shared_plan = plan_shared_memory(tiling, config)
-        generator = CudaCodeGenerator(tiling, shared_plan, config, threads=threads)
-        cuda_source = generator.generate()
-        core_profiles = analyze_core_loop(
+        run = self.session.run(
             program,
-            unroll=config.unroll,
-            separate_full_partial=config.separate_full_partial,
-            use_shared_memory=config.use_shared_memory,
-        )
-        result = CompilationResult(
-            program=program,
-            canonical=canonical,
-            tiling=tiling,
+            tile_sizes=tile_sizes,
             config=config,
-            shared_plan=shared_plan,
-            cuda_source=cuda_source,
-            core_profiles=core_profiles,
-            tile_cost=tile_cost,
-            device=self.device,
+            storage=storage,
+            threads=threads,
+            stop_after="codegen",
         )
+        result = run.result()
         self._remember(key, result)
-        if self.disk_cache is not None and disk_key is not None:
-            self.disk_cache.put(disk_key, result)
         return result
 
     def _remember(self, key: tuple, result: CompilationResult) -> None:
-        """Insert into the in-memory LRU, evicting the least recently used."""
+        """Insert into the in-memory memo, evicting the least recently used."""
         if len(self._cache) >= self.CACHE_CAPACITY:
             self._cache.popitem(last=False)
         self._cache[key] = result

@@ -6,11 +6,11 @@ from dataclasses import dataclass
 from functools import partial
 
 from repro.cache import DiskCache
-from repro.compiler import HybridCompiler
+from repro.api import HybridCompiler
 from repro.engine import map_ordered
 from repro.experiments.paper_data import PAPER_TABLE4, PAPER_TABLE5, PAPER_TILE_SIZES
 from repro.gpu.device import GPUDevice, GTX470, NVS5200M
-from repro.pipeline import table4_configurations
+from repro.api import table4_configurations
 from repro.stencils import get_stencil
 from repro.tiling.hybrid import TileSizes
 

@@ -7,7 +7,7 @@ from functools import partial
 
 from repro.baselines import OvertileBaseline, Par4AllBaseline, PPCGBaseline, PatusBaseline
 from repro.cache import DiskCache
-from repro.compiler import HybridCompiler
+from repro.api import HybridCompiler
 from repro.engine import map_ordered
 from repro.experiments.paper_data import (
     PAPER_TABLE1_GTX470,

@@ -38,7 +38,7 @@ from repro.codegen.shared_mem import SharedMemoryPlan
 from repro.gpu.counters import PerformanceCounters
 from repro.model.expr import Call, FieldRead, walk
 from repro.model.program import StencilProgram
-from repro.pipeline import OptimizationConfig
+from repro.api.config import OptimizationConfig
 from repro.tiling.hybrid import HybridTiling, SchedulePoint, TileCoordinate
 from repro.tiling.schedule_arrays import ScheduleArrays, run_boundaries
 

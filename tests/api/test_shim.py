@@ -1,0 +1,40 @@
+"""The ``repro.pipeline`` deprecation shim: warning + object identity."""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+import repro.api as api
+
+
+def _fresh_import_pipeline():
+    sys.modules.pop("repro.pipeline", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.pipeline as shim
+    return shim, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+def test_import_emits_a_single_deprecation_warning():
+    _, deprecations = _fresh_import_pipeline()
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    assert "repro.pipeline is deprecated" in message
+    assert "repro.api" in message
+
+
+def test_reimport_from_module_cache_does_not_warn_again():
+    _fresh_import_pipeline()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.pipeline  # noqa: F401  (already in sys.modules)
+    assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+def test_shim_objects_are_identical_to_the_api_objects():
+    shim, _ = _fresh_import_pipeline()
+    assert shim.OptimizationConfig is api.OptimizationConfig
+    assert shim.TileSizes is api.TileSizes
+    assert shim.table4_configurations is api.table4_configurations
+    assert shim.__all__ == ["OptimizationConfig", "TileSizes", "table4_configurations"]

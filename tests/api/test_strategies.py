@@ -1,0 +1,155 @@
+"""The pluggable tiling-strategy registry and the built-in strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    PipelineError,
+    Session,
+    TileSizes,
+    TilingPlan,
+    TilingStrategy,
+    get_strategy,
+    list_strategies,
+    register_strategy,
+)
+from repro.stencils import get_stencil
+from repro.tiling.classical import ClassicalTiling
+from repro.tiling.diamond import DiamondTiling
+from repro.tiling.hybrid import HybridTiling
+
+
+@pytest.fixture
+def program():
+    return get_stencil("jacobi_2d", sizes=(20, 18), steps=10)
+
+
+SIZES = TileSizes.of(2, 3, 6)
+
+
+def test_hybrid_strategy_builds_a_codegen_capable_plan(program):
+    run = Session(strategy="hybrid").run(program, tile_sizes=SIZES, stop_after="tiling")
+    plan = run.artifact("tiling")
+    assert plan.strategy == "hybrid"
+    assert plan.supports_codegen
+    assert isinstance(plan.tiling, HybridTiling)
+    assert plan.details["concurrent_start"] is True
+
+
+def test_classical_strategy_builds_skewed_parallelogram_tilings(program):
+    run = Session(strategy="classical").run(
+        program, tile_sizes=SIZES, stop_after="tiling"
+    )
+    plan = run.artifact("tiling")
+    assert plan.strategy == "classical"
+    assert not plan.supports_codegen
+    assert all(isinstance(t, ClassicalTiling) for t in plan.tiling)
+    assert len(plan.tiling) == 2  # one per space dimension
+    assert plan.details["concurrent_start"] is False
+
+
+def test_diamond_strategy_wraps_diamond_tiling(program):
+    run = Session(strategy="diamond").run(program, tile_sizes=SIZES, stop_after="tiling")
+    plan = run.artifact("tiling")
+    assert plan.strategy == "diamond"
+    assert isinstance(plan.tiling, DiamondTiling)
+    # The paper's Section 2 observation: the diamond peak is fixed (<= 2)
+    # while the hexagonal peak is adjustable.
+    assert plan.details["peak_width"] <= 2
+
+
+def test_analysis_only_strategies_cannot_reach_codegen(program):
+    for name in ("classical", "diamond"):
+        with pytest.raises(PipelineError, match="analysis-only"):
+            Session(strategy=name).run(program, tile_sizes=SIZES)
+
+
+def test_strategy_can_be_overridden_per_run(program):
+    session = Session(strategy="hybrid")
+    run = session.run(
+        program, tile_sizes=SIZES, strategy="diamond", stop_after="tiling"
+    )
+    assert run.artifact("tiling").strategy == "diamond"
+    # The session default is untouched.
+    assert session.run(program, tile_sizes=SIZES).artifact("tiling").strategy == "hybrid"
+
+
+def test_model_selected_sizes_without_explicit_tile_sizes(program):
+    run = Session().run(program, stop_after="tiling")
+    plan = run.artifact("tiling")
+    assert plan.tile_cost is not None
+    assert plan.sizes == plan.tile_cost.sizes
+
+
+def test_registering_a_custom_strategy():
+    class EchoStrategy(TilingStrategy):
+        name = "echo-test"
+
+        def plan(self, request, canonical):
+            return TilingPlan(
+                strategy=self.name, sizes=request.tile_sizes, tiling=None
+            )
+
+    try:
+        register_strategy(EchoStrategy())
+        assert "echo-test" in list_strategies()
+        program = get_stencil("jacobi_1d", sizes=(64,), steps=8)
+        run = Session(strategy="echo-test").run(
+            program, tile_sizes=TileSizes.of(1, 4), stop_after="tiling"
+        )
+        assert run.artifact("tiling").strategy == "echo-test"
+    finally:
+        from repro.api.strategies import _REGISTRY
+
+        _REGISTRY.pop("echo-test", None)
+
+
+def test_out_of_package_strategies_are_never_cached(tmp_path):
+    """The code fingerprint cannot see user strategy code, so no caching."""
+    from repro.cache import DiskCache
+
+    class EchoStrategy(TilingStrategy):
+        name = "echo-uncached"
+
+        def plan(self, request, canonical):
+            return TilingPlan(
+                strategy=self.name, sizes=request.tile_sizes, tiling=None
+            )
+
+    try:
+        register_strategy(EchoStrategy())
+        cache = DiskCache(tmp_path / "hexcc")
+        program = get_stencil("jacobi_1d", sizes=(64,), steps=8)
+        session = Session(strategy="echo-uncached", disk_cache=cache)
+        first = session.run(program, tile_sizes=TileSizes.of(1, 4),
+                            stop_after="tiling")
+        second = session.run(program, tile_sizes=TileSizes.of(1, 4),
+                             stop_after="tiling")
+        # canonicalize (upstream of the strategy) is cached; the tiling
+        # stage recomputes every time, in memory and on disk.
+        assert {e.name: e.source for e in second.events}["tiling"] == "computed"
+        assert second.artifact("tiling") is not first.artifact("tiling")
+        stored_kinds = {type(session.disk_cache.get(p.stem)).__name__
+                        for p in cache._entries()}
+        assert "TilingPlan" not in stored_kinds
+    finally:
+        from repro.api.strategies import _REGISTRY
+
+        _REGISTRY.pop("echo-uncached", None)
+
+
+def test_duplicate_registration_is_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_strategy(get_strategy("hybrid"))
+    # ...unless replacement is explicit.
+    register_strategy(get_strategy("hybrid"), replace=True)
+
+
+def test_unnamed_strategy_is_rejected():
+    class Nameless(TilingStrategy):
+        def plan(self, request, canonical):  # pragma: no cover
+            raise NotImplementedError
+
+    with pytest.raises(ValueError, match="non-empty name"):
+        register_strategy(Nameless())

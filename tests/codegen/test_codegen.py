@@ -7,7 +7,7 @@ from repro.codegen.kernel_ir import analyze_core_loop, register_reuse_count
 from repro.codegen.ptx import emit_core_ptx
 from repro.codegen.shared_mem import plan_shared_memory
 from repro.model.preprocess import canonicalize
-from repro.pipeline import OptimizationConfig
+from repro.api import OptimizationConfig
 from repro.stencils import get_stencil
 from repro.tiling.hybrid import HybridTiling, TileSizes
 

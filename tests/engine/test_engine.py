@@ -112,7 +112,9 @@ def test_workers_share_the_disk_cache(tmp_path):
 
     compiler = HybridCompiler(disk_cache=reader)
     compiler.compile(get_stencil("jacobi_1d"))
-    assert reader.hits == 1 and reader.misses == 0
+    # Artifacts are cached at pass granularity: one compile fetches the
+    # canonicalize, tiling, memory and codegen artifacts.
+    assert reader.hits == 4 and reader.misses == 0
 
 
 def test_experiment_sweeps_are_jobs_invariant(tmp_path):

@@ -19,7 +19,7 @@ from repro.experiments import (
     table3_characteristics,
 )
 from repro.gpu.device import GTX470, NVS5200M
-from repro.pipeline import OptimizationConfig, table4_configurations
+from repro.api import OptimizationConfig, table4_configurations
 from repro.stencils import paper_benchmarks
 
 

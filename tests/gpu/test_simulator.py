@@ -5,7 +5,7 @@ import numpy as np
 from repro.compiler import HybridCompiler
 from repro.gpu.simulator import FunctionalSimulator
 from repro.model.preprocess import canonicalize
-from repro.pipeline import OptimizationConfig
+from repro.api import OptimizationConfig
 from repro.stencils import get_stencil
 from repro.tiling.hybrid import HybridTiling, TileSizes
 

@@ -33,7 +33,8 @@ def test_table_command_table3(capsys):
 
 
 def test_table_command_unknown_number(capsys):
-    assert main(["table", "9"]) == 1
+    # Unknown table numbers are usage errors (uniform exit code 2).
+    assert main(["table", "9"]) == 2
 
 
 def test_parser_requires_command():
@@ -128,11 +129,13 @@ def test_cache_stats_and_clear(tmp_path, monkeypatch, capsys):
     capsys.readouterr()
     assert main(["cache", "stats"]) == 0
     stats = capsys.readouterr().out
-    assert "entries    : 1" in stats
+    # One compile stores one artifact per cacheable pass (canonicalize,
+    # tiling, memory, codegen).
+    assert "entries    : 4" in stats
     assert str(tmp_path / "cache") in stats
-    # ...and clear removes it.
+    # ...and clear removes them.
     assert main(["cache", "clear"]) == 0
-    assert "removed 1" in capsys.readouterr().out
+    assert "removed 4" in capsys.readouterr().out
     assert main(["cache", "stats"]) == 0
     assert "entries    : 0" in capsys.readouterr().out
 
@@ -144,8 +147,9 @@ def test_compile_reuses_the_persistent_cache(tmp_path, monkeypatch, capsys):
     capsys.readouterr()
     assert main(["cache", "stats"]) == 0
     stats = capsys.readouterr().out
-    assert "hits       : 1" in stats
-    assert "stores     : 1" in stats
+    # The second compile reuses all four pass artifacts of the first.
+    assert "hits       : 4" in stats
+    assert "stores     : 4" in stats
 
 
 def test_no_cache_flag_bypasses_the_disk_cache(tmp_path, monkeypatch, capsys):
@@ -166,5 +170,91 @@ def test_tables_command_is_jobs_invariant(capsys):
 
 
 def test_tables_command_rejects_unknown_number(capsys):
-    assert main(["tables", "9"]) == 1
+    assert main(["tables", "9"]) == 2
     assert "unknown table" in capsys.readouterr().err
+
+
+# -- hexcc inspect -------------------------------------------------------------------
+
+
+def test_inspect_stop_after_tiling_json_reports_exactly_the_passes_run(capsys):
+    import json
+
+    code = main(["inspect", "heat-2d", "--stop-after", "tiling", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stencil"] == "heat_2d"
+    assert payload["strategy"] == "hybrid"
+    assert [entry["name"] for entry in payload["passes"]] == [
+        "parse", "canonicalize", "tiling",
+    ]
+    for entry in payload["passes"]:
+        assert entry["wall_s"] >= 0.0
+        assert entry["source"] in ("computed", "memory", "disk", "injected")
+    assert set(payload["artifacts"]) == {"parse", "canonicalize", "tiling"}
+    assert payload["artifacts"]["tiling"]["supports_codegen"] is True
+
+
+def test_inspect_full_pipeline_text_output(capsys):
+    code = main(["inspect", "jacobi_2d", "--h", "2", "--widths", "3,6"])
+    assert code == 0
+    output = capsys.readouterr().out
+    for stage in ("parse", "canonicalize", "tiling", "memory", "codegen", "analysis"):
+        assert stage in output
+    assert "total" in output
+
+
+def test_inspect_diamond_strategy_stops_at_tiling(capsys):
+    code = main(["inspect", "jacobi_2d", "--strategy", "diamond",
+                 "--stop-after", "tiling", "--json"])
+    assert code == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["artifacts"]["tiling"]["strategy"] == "diamond"
+    assert payload["artifacts"]["tiling"]["supports_codegen"] is False
+
+
+def test_inspect_diamond_strategy_cannot_reach_codegen(capsys):
+    code = main(["inspect", "jacobi_2d", "--strategy", "diamond"])
+    assert code == 1
+    assert "analysis-only" in capsys.readouterr().err
+
+
+# -- uniform exit codes --------------------------------------------------------------
+
+
+def test_unknown_stencil_is_a_usage_error(capsys):
+    assert main(["compile", "not_a_stencil"]) == 2
+    assert "unknown stencil" in capsys.readouterr().err
+    assert main(["inspect", "not_a_stencil"]) == 2
+    assert main(["validate", "not_a_stencil"]) == 2
+
+
+def test_unknown_strategy_is_a_usage_error(capsys):
+    assert main(["inspect", "jacobi_2d", "--strategy", "bogus"]) == 2
+    assert "unknown tiling strategy" in capsys.readouterr().err
+
+
+def test_bad_stop_after_is_a_usage_error():
+    assert main(["inspect", "jacobi_2d", "--stop-after", "bogus"]) == 2
+
+
+def test_malformed_widths_is_a_usage_error(capsys):
+    assert main(["compile", "jacobi_1d", "--widths", "x,y"]) == 2
+    assert "--widths" in capsys.readouterr().err
+
+
+def test_invalid_tiling_parameters_are_a_compile_failure(capsys):
+    # One width for a 3-D stencil is a pipeline error, not a usage error.
+    assert main(["compile", "heat_3d", "--widths", "4"]) == 1
+    assert "tile widths" in capsys.readouterr().err
+
+
+def test_missing_command_is_a_usage_error():
+    assert main([]) == 2
+
+
+def test_help_exits_zero(capsys):
+    assert main(["--help"]) == 0
+    assert "hexcc" in capsys.readouterr().out

@@ -4,7 +4,7 @@ import pytest
 
 from repro.compiler import HybridCompiler
 from repro.gpu.device import GTX470, NVS5200M
-from repro.pipeline import OptimizationConfig, table4_configurations
+from repro.api import OptimizationConfig, table4_configurations
 from repro.stencils import get_stencil, paper_benchmarks
 from repro.tiling.hybrid import TileSizes
 
