@@ -16,6 +16,7 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro.tuning": ["TUNING_baseline.json"]},
     python_requires=">=3.10",
     install_requires=["numpy"],
     entry_points={"console_scripts": ["hexcc=repro.cli:main"]},

@@ -73,7 +73,7 @@ class PassEvent:
         return f"{self.name:<12} {self.wall_s * 1e3:9.3f} ms  [{self.source}]"
 
 
-def _program_digest(program: StencilProgram) -> str:
+def program_digest(program: StencilProgram) -> str:
     """Content digest of one program, pinning its full problem instance.
 
     The regenerated C source alone is not enough: library stencils that keep
@@ -112,11 +112,15 @@ class PipelineRun:
         artifacts: dict[str, Any],
         events: list[PassEvent],
         stop_after: str,
+        tuned_entry: Mapping[str, Any] | None = None,
     ) -> None:
         self.request = request
         self.artifacts = artifacts
         self.events = events
         self.stop_after = stop_after
+        #: The tuning-database entry applied to this run (``tuned=True`` and
+        #: a hit), or ``None`` when the run used explicit/model sizes.
+        self.tuned_entry = tuned_entry
 
     def artifact(self, stage: str) -> Any:
         """The artifact one stage produced; raises if the stage did not run."""
@@ -187,6 +191,11 @@ class Session:
         Size of the in-memory pass-artifact LRU.
     observers:
         Callables invoked with each :class:`PassEvent` as passes finish.
+    tuning_db:
+        Where ``run(tuned=True)`` looks best known configurations up: a
+        :class:`repro.tuning.TuningDatabase`, a path to one, or ``None`` for
+        the default resolution chain (``$HEXCC_TUNING_DB`` → the user
+        database → the committed baseline shipped with the package).
     """
 
     def __init__(
@@ -196,6 +205,7 @@ class Session:
         disk_cache: DiskCache | None = None,
         cache_capacity: int = 256,
         observers: Iterable[Callable[[PassEvent], None]] = (),
+        tuning_db: Any = None,
     ) -> None:
         get_strategy(strategy)  # fail fast on unknown names
         self.device = device
@@ -203,7 +213,29 @@ class Session:
         self.disk_cache = disk_cache
         self.cache_capacity = cache_capacity
         self.observers = tuple(observers)
+        self.tuning_db = tuning_db
         self._artifact_cache: OrderedDict[str, Any] = OrderedDict()
+
+    # -- tuned-config resolution --------------------------------------------------
+
+    def _resolved_tuning_db(self):
+        """The session's :class:`TuningDatabase`, loaded at most once."""
+        from repro.tuning.db import TuningDatabase
+
+        if not isinstance(self.tuning_db, TuningDatabase):
+            # None or a path: resolve through the default chain and memoise.
+            self.tuning_db = TuningDatabase.load(self.tuning_db)
+        return self.tuning_db
+
+    def resolve_tuned(self, program: StencilProgram | str) -> Mapping[str, Any] | None:
+        """The tuning-database entry ``run(tuned=True)`` would apply, if any."""
+        if isinstance(program, str):
+            from repro.frontend import parse_stencil
+
+            program = parse_stencil(program)
+        return self._resolved_tuning_db().best_for(
+            program_digest(program), self.device.name
+        )
 
     def cache_clear(self) -> None:
         """Drop every memoised pass artifact (in-memory layer only)."""
@@ -221,6 +253,7 @@ class Session:
         strategy: str | None = None,
         stop_after: str | None = None,
         inject: Mapping[str, Any] | None = None,
+        tuned: bool = False,
     ) -> PipelineRun:
         """Run the pipeline (or a prefix of it) on one stencil program.
 
@@ -245,6 +278,14 @@ class Session:
             Pre-built artifacts keyed by stage name.  Injected stages do not
             run; downstream passes consume the injected artifact and are not
             cached (their inputs are no longer derivable from the request).
+        tuned:
+            Apply the best known configuration from the session's tuning
+            database (see ``tuning_db``): the entry's tile sizes (and block
+            shape, unless ``threads`` is given) replace the model selection.
+            Explicit ``tile_sizes`` always win; with no database entry the
+            run falls back to the model selection unchanged.  Tuned runs
+            carry explicit sizes, so their cache keys can never alias the
+            model-selected (``tile-sizes=auto``) entries.
         """
         stop = stop_after or DEFAULT_STOP
         if stop not in STAGES:
@@ -261,6 +302,14 @@ class Session:
                     f"injected artifact for stage {stage!r} must be a "
                     f"{expected.__name__}, got {type(artifact).__name__}"
                 )
+        tuned_entry: Mapping[str, Any] | None = None
+        if tuned and tile_sizes is None:
+            tuned_entry = self.resolve_tuned(program)
+            if tuned_entry is not None:
+                best = tuned_entry["best"]
+                tile_sizes = TileSizes(int(best["height"]), tuple(best["widths"]))
+                if threads is None and best.get("threads") is not None:
+                    threads = tuple(best["threads"])
         request = CompilationRequest(
             program=program,
             tile_sizes=tile_sizes,
@@ -275,7 +324,7 @@ class Session:
         artifacts: dict[str, Any] = {}
         events: list[PassEvent] = []
         parent_key: str | None = ""  # "" = pipeline root; None = uncacheable
-        program_digest = ""
+        digest = ""
         for pipeline_pass in PIPELINE_PASSES:
             start = time.perf_counter()
             injected = inject.get(pipeline_pass.name)
@@ -286,7 +335,7 @@ class Session:
                 key = None
                 if parent_key is not None and pipeline_pass.cacheable:
                     key = pipeline_pass.key(
-                        request, artifacts, parent_key or None, program_digest
+                        request, artifacts, parent_key or None, digest
                     )
                     if key is None:
                         # A cacheable pass that cannot key its output (e.g. a
@@ -303,7 +352,7 @@ class Session:
                     parent_key = key
             artifacts[pipeline_pass.name] = artifact
             if pipeline_pass.name == "parse":
-                program_digest = _program_digest(artifact.program)
+                digest = program_digest(artifact.program)
             event = PassEvent(
                 name=pipeline_pass.name,
                 wall_s=time.perf_counter() - start,
@@ -315,7 +364,7 @@ class Session:
                 observer(event)
             if pipeline_pass.name == stop:
                 break
-        return PipelineRun(request, artifacts, events, stop)
+        return PipelineRun(request, artifacts, events, stop, tuned_entry=tuned_entry)
 
     # -- cache layering -----------------------------------------------------------
 
@@ -333,7 +382,7 @@ class Session:
                 self._artifact_cache.move_to_end(key)
                 return cached, "memory"
             if self.disk_cache is not None:
-                fetched = self.disk_cache.get(key)
+                fetched = self.disk_cache.get(key, stage=pipeline_pass.name)
                 if isinstance(fetched, pipeline_pass.produces):
                     self._remember(key, fetched)
                     return fetched, "disk"
@@ -341,7 +390,7 @@ class Session:
         if key is not None:
             self._remember(key, artifact)
             if self.disk_cache is not None:
-                self.disk_cache.put(key, artifact)
+                self.disk_cache.put(key, artifact, stage=pipeline_pass.name)
         return artifact, "computed"
 
     def _remember(self, key: str, artifact: Any) -> None:

@@ -22,7 +22,7 @@ import json
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 #: Bump when the pickled artefact layout changes incompatibly; old entries
@@ -63,6 +63,9 @@ class CacheStats:
     misses: int
     stores: int
     evicted: int
+    #: Per-pipeline-stage hit/miss/store breakdown (stage name -> counters),
+    #: so sweep-heavy workloads (``hexcc tune``) are observable per pass.
+    stages: dict = field(default_factory=dict)
 
     def describe(self) -> str:
         lines = [
@@ -74,6 +77,15 @@ class CacheStats:
             f"stores     : {self.stores}",
             f"evicted    : {self.evicted}",
         ]
+        if self.stages:
+            lines.append("per-stage  :")
+            lines.append(f"  {'stage':<14} {'hits':>8} {'misses':>8} {'stores':>8}")
+            for stage in sorted(self.stages):
+                counters = self.stages[stage]
+                lines.append(
+                    f"  {stage:<14} {counters.get('hits', 0):>8} "
+                    f"{counters.get('misses', 0):>8} {counters.get('stores', 0):>8}"
+                )
         return "\n".join(lines)
 
 
@@ -93,6 +105,16 @@ class DiskCache:
         self.misses = 0
         self.stores = 0
         self.evicted = 0
+        # stage name -> {"hits": n, "misses": n, "stores": n}
+        self.stage_counters: dict[str, dict[str, int]] = {}
+
+    def _count_stage(self, stage: str | None, event: str) -> None:
+        if stage is None:
+            return
+        counters = self.stage_counters.setdefault(
+            stage, {"hits": 0, "misses": 0, "stores": 0}
+        )
+        counters[event] += 1
 
     @staticmethod
     def default() -> "DiskCache | None":
@@ -108,13 +130,18 @@ class DiskCache:
             raise ValueError(f"cache keys must be lowercase hex digests, got {key!r}")
         return self.entry_dir / f"{key}.pkl"
 
-    def get(self, key: str) -> object | None:
-        """Fetch and unpickle one entry; corrupt or stale entries are dropped."""
+    def get(self, key: str, stage: str | None = None) -> object | None:
+        """Fetch and unpickle one entry; corrupt or stale entries are dropped.
+
+        ``stage`` (a pipeline pass name) attributes the hit/miss to a
+        per-stage counter for ``hexcc cache stats``.
+        """
         path = self._path(key)
         try:
             blob = path.read_bytes()
         except OSError:
             self.misses += 1
+            self._count_stage(stage, "misses")
             return None
         try:
             envelope = pickle.loads(blob)
@@ -126,11 +153,13 @@ class DiskCache:
             # and garbage-collect the entry so it is not re-read forever.
             self._discard(path)
             self.misses += 1
+            self._count_stage(stage, "misses")
             return None
         self.hits += 1
+        self._count_stage(stage, "hits")
         return payload
 
-    def put(self, key: str, payload: object) -> None:
+    def put(self, key: str, payload: object, stage: str | None = None) -> None:
         """Atomically write one entry (last writer wins)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -151,6 +180,7 @@ class DiskCache:
                 pass
             raise
         self.stores += 1
+        self._count_stage(stage, "stores")
 
     def _discard(self, path: Path) -> None:
         try:
@@ -191,27 +221,63 @@ class DiskCache:
         return removed
 
     def stats(self) -> CacheStats:
-        """Current stats: this instance's counters merged with ``stats.json``."""
-        persisted = self._read_persisted_stats()
-        entries = self._entries()
+        """Current stats: this instance's counters merged with ``stats.json``.
+
+        Robust on a fresh or concurrently-modified cache directory: a
+        missing directory, a malformed ``stats.json`` or an entry deleted
+        between listing and ``stat()`` all degrade to zeros, never raise.
+        """
+        persisted, persisted_stages = self._read_persisted_stats()
+        total_bytes = 0
+        count = 0
+        for path in self._entries():
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue  # deleted by a concurrent clear/GC: skip, don't crash
+            count += 1
+        stages: dict[str, dict[str, int]] = {
+            name: dict(counters) for name, counters in persisted_stages.items()
+        }
+        for name, counters in self.stage_counters.items():
+            merged = stages.setdefault(name, {"hits": 0, "misses": 0, "stores": 0})
+            for event, value in counters.items():
+                merged[event] = merged.get(event, 0) + value
         return CacheStats(
             root=str(self.root),
-            entries=len(entries),
-            bytes=sum(p.stat().st_size for p in entries),
+            entries=count,
+            bytes=total_bytes,
             hits=self.hits + persisted.get("hits", 0),
             misses=self.misses + persisted.get("misses", 0),
             stores=self.stores + persisted.get("stores", 0),
             evicted=self.evicted + persisted.get("evicted", 0),
+            stages=stages,
         )
 
     # -- cross-process counters ---------------------------------------------------
 
-    def _read_persisted_stats(self) -> dict[str, int]:
+    def _read_persisted_stats(self) -> tuple[dict[str, int], dict[str, dict[str, int]]]:
+        """The ``(totals, per_stage)`` counters of ``stats.json``, best effort."""
         try:
             raw = json.loads((self.root / "stats.json").read_text())
         except (OSError, ValueError):
-            return {}
-        return {k: int(v) for k, v in raw.items() if isinstance(v, (int, float))}
+            return {}, {}
+        if not isinstance(raw, dict):
+            # A foreign or truncated stats file must read as empty, not crash
+            # ``hexcc cache stats``.
+            return {}, {}
+        totals = {k: int(v) for k, v in raw.items() if isinstance(v, (int, float))}
+        stages: dict[str, dict[str, int]] = {}
+        if isinstance(raw.get("stages"), dict):
+            for name, counters in raw["stages"].items():
+                if not isinstance(counters, dict):
+                    continue
+                stages[str(name)] = {
+                    str(event): int(value)
+                    for event, value in counters.items()
+                    if isinstance(value, (int, float))
+                }
+        return totals, stages
 
     def flush_stats(self) -> None:
         """Merge this instance's counters into ``stats.json`` (best effort).
@@ -221,14 +287,21 @@ class DiskCache:
         """
         if not (self.hits or self.misses or self.stores or self.evicted):
             return
-        merged = self._read_persisted_stats()
+        merged, merged_stages = self._read_persisted_stats()
         for name in ("hits", "misses", "stores", "evicted"):
             merged[name] = merged.get(name, 0) + getattr(self, name)
+        for name, counters in self.stage_counters.items():
+            stage = merged_stages.setdefault(name, {})
+            for event, value in counters.items():
+                stage[event] = stage.get(event, 0) + value
+        document: dict = dict(merged)
+        if merged_stages:
+            document["stages"] = merged_stages
         self.root.mkdir(parents=True, exist_ok=True)
         descriptor, temp_name = tempfile.mkstemp(dir=self.root, prefix=".stats-")
         try:
             with os.fdopen(descriptor, "w") as handle:
-                json.dump(merged, handle)
+                json.dump(document, handle)
             os.replace(temp_name, self.root / "stats.json")
         except BaseException:
             try:
@@ -237,6 +310,7 @@ class DiskCache:
                 pass
             raise
         self.hits = self.misses = self.stores = self.evicted = 0
+        self.stage_counters = {}
 
     def __repr__(self) -> str:
         return f"DiskCache({str(self.root)!r})"

@@ -18,8 +18,12 @@ Examples
     hexcc tables --jobs 4  # regenerate Tables 1-5 across 4 processes
     hexcc bench --quick --json bench_out.json   # performance report (CI)
     hexcc bench --jobs 0   # fan the suites across every core
-    hexcc cache stats      # on-disk compile cache usage
+    hexcc cache stats      # on-disk compile cache usage (per-stage breakdown)
     hexcc cache clear      # drop every cached artefact
+    hexcc tune heat_3d --budget 32 --objective simulate --jobs 4
+    hexcc tune jacobi_2d --strategy hillclimb --seed 7
+    hexcc compile heat_3d --tuned   # apply the best known configuration
+    hexcc tune-table       # tuned-vs-model comparison across the database
 
 Exit codes are uniform across every subcommand: **0** on success, **1** on a
 compile/validation failure, **2** on a usage error (unknown stencil, table,
@@ -61,8 +65,16 @@ class UsageError(Exception):
 
 
 def _stencil_name(raw: str) -> str:
-    """Canonical registry name; ``heat-2d`` and ``heat_2d`` both work."""
-    return raw.replace("-", "_")
+    """Canonical registry name; ``heat-2d``, ``heat_2d`` and ``heat2d`` work."""
+    name = raw.replace("-", "_")
+    if name not in list_stencils():
+        # Compact spelling: insert the underscore before a trailing
+        # dimensionality suffix (``heat3d`` -> ``heat_3d``).
+        if len(name) > 2 and name[-1] in "dD" and name[-2].isdigit():
+            spaced = f"{name[:-2]}_{name[-2:]}"
+            if spaced.replace("-", "_") in list_stencils():
+                return spaced.replace("-", "_")
+    return name
 
 
 def _get_stencil_checked(raw_name: str, **kwargs):
@@ -113,9 +125,36 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _compile_and_report(program, args: argparse.Namespace) -> int:
+    from repro.tuning import TuningDatabase
+
     cache = _disk_cache(args)
-    compiler = HybridCompiler(_get_device_checked(args.device), disk_cache=cache)
-    compiled = compiler.compile(program, tile_sizes=_parse_tile_sizes(args))
+    tile_sizes = _parse_tile_sizes(args)
+    # Explicit --widths always win; only announce a tuned config when the
+    # session will actually apply one.
+    tuned = getattr(args, "tuned", False) and tile_sizes is None
+    tuning_db = None
+    if tuned:
+        tuning_db = TuningDatabase.load(getattr(args, "tuning_db", None))
+    compiler = HybridCompiler(
+        _get_device_checked(args.device), disk_cache=cache, tuning_db=tuning_db
+    )
+    if tuned:
+        entry = compiler.session.resolve_tuned(program)
+        if entry is not None:
+            best = entry["best"]
+            widths = ",".join(str(w) for w in best["widths"])
+            print(
+                f"applying tuned configuration h={best['height']} w=({widths}) "
+                f"[strategy={entry['strategy']}, objective={entry['objective']}, "
+                f"score={best['score']:.6g}]"
+            )
+        else:
+            print(
+                "no tuned configuration recorded for this program/device; "
+                "falling back to the model selection "
+                "(run `hexcc tune` to populate the database)"
+            )
+    compiled = compiler.compile(program, tile_sizes=tile_sizes, tuned=tuned)
     _flush_cache(cache)
     print(compiled.describe())
     print()
@@ -293,6 +332,115 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Autotune one stencil and record the winner in the tuning database."""
+    from repro.tuning import (
+        TuningDatabase,
+        list_objectives,
+        list_search_strategies,
+        resolve_db_path,
+        tune,
+    )
+    from repro.tuning.db import default_db_path
+
+    if args.strategy not in list_search_strategies():
+        raise UsageError(
+            f"unknown search strategy {args.strategy!r}; "
+            f"known: {', '.join(list_search_strategies())}"
+        )
+    if args.objective not in list_objectives():
+        raise UsageError(
+            f"unknown tuning objective {args.objective!r}; "
+            f"known: {', '.join(list_objectives())}"
+        )
+    if args.budget <= 0:
+        raise UsageError("--budget must be positive")
+    program = _get_stencil_checked(args.stencil)
+    cache = _disk_cache(args)
+    db_path = resolve_db_path(args.tuning_db) if args.check else (
+        args.tuning_db if args.tuning_db is not None else default_db_path()
+    )
+    db = TuningDatabase.load(db_path)
+
+    result = tune(
+        program,
+        strategy=args.strategy,
+        objective=args.objective,
+        budget=args.budget,
+        seed=args.seed,
+        jobs=args.jobs,
+        device=_get_device_checked(args.device),
+        tune_threads=args.tune_threads,
+        disk_cache=cache,
+    )
+    _flush_cache(cache)
+
+    if args.json:
+        payload = result.to_entry()
+        payload["trials"] = [
+            {
+                "height": trial.candidate.sizes.height,
+                "widths": list(trial.candidate.sizes.widths),
+                "threads": list(trial.candidate.threads)
+                if trial.candidate.threads is not None
+                else None,
+                "score": trial.score,
+                "ok": trial.ok,
+            }
+            for trial in result.trials
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result.describe())
+
+    if args.check:
+        # CI gate: the freshly-found best must not regress the best score
+        # recorded in the database (same program/device/objective).
+        stored = [
+            entry
+            for entry in db.entries_for(result.digest, result.device)
+            if entry.get("objective") == result.objective
+        ]
+        if not stored:
+            print(
+                f"check: no {result.objective!r} entry for {result.program_name} "
+                f"on {result.device} in {db_path}",
+                file=sys.stderr,
+            )
+            return EXIT_FAILURE
+        reference = min(float(e["best"]["score"]) for e in stored)
+        limit = reference * (1.0 + args.max_regression)
+        if result.best.score > limit:
+            print(
+                f"check FAILED: best score {result.best.score:.6g} regresses the "
+                f"recorded {reference:.6g} by more than "
+                f"{args.max_regression:.0%} (limit {limit:.6g})",
+                file=sys.stderr,
+            )
+            return EXIT_FAILURE
+        print(
+            f"check OK: best score {result.best.score:.6g} vs recorded "
+            f"{reference:.6g} (limit {limit:.6g})"
+        )
+        return EXIT_OK
+
+    db.record(result.to_entry())
+    written = db.save(db_path)
+    print(f"recorded the winner in {written} ({len(db)} entries)")
+    return EXIT_OK
+
+
+def _cmd_tune_table(args: argparse.Namespace) -> int:
+    """Print the tuned-vs-model comparison table from the tuning database."""
+    from repro.bench.tuned import format_tuned_table, tuned_rows
+    from repro.tuning import TuningDatabase
+
+    db = TuningDatabase.load(args.tuning_db)
+    device = _get_device_checked(args.device).name if args.device else None
+    print(format_tuned_table(tuned_rows(db, device=device)))
+    return EXIT_OK
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -346,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--h", type=int, default=2)
     compile_parser.add_argument("--widths", default=None, help="comma separated w0,w1,...")
     compile_parser.add_argument("--show-cuda", action="store_true")
+    _add_tuned_arguments(compile_parser)
     _add_no_cache_argument(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
 
@@ -396,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
                                           "overriding the source's #defines")
     compile_file_parser.add_argument("--steps", type=int, default=None)
     compile_file_parser.add_argument("--show-cuda", action="store_true")
+    _add_tuned_arguments(compile_file_parser)
     _add_no_cache_argument(compile_file_parser)
     compile_file_parser.set_defaults(func=_cmd_compile_file)
 
@@ -436,6 +586,68 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("action", choices=("stats", "clear"))
     cache_parser.set_defaults(func=_cmd_cache)
 
+    tune_parser = sub.add_parser(
+        "tune",
+        help="autotune tile sizes empirically and record the winner",
+    )
+    tune_parser.add_argument("stencil")
+    tune_parser.add_argument(
+        "--strategy", default="random",
+        help="search strategy: grid, random or hillclimb (default: random)",
+    )
+    tune_parser.add_argument(
+        "--objective", default="model",
+        help="scoring objective: model, simulate or counters (default: model)",
+    )
+    tune_parser.add_argument(
+        "--budget", type=int, default=32, metavar="N",
+        help="evaluation budget (the model baseline is always scored extra)",
+    )
+    tune_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="search seed; identical seed + budget replays the identical "
+             "sweep (default: 0)",
+    )
+    tune_parser.add_argument("--device", default="gtx470")
+    tune_parser.add_argument(
+        "--tune-threads", action="store_true",
+        help="also search thread-block shapes (launch configuration)",
+    )
+    tune_parser.add_argument(
+        "--tuning-db", default=None, metavar="PATH",
+        help="database to update (default: $HEXCC_TUNING_DB or the user db)",
+    )
+    tune_parser.add_argument(
+        "--check", action="store_true",
+        help="CI gate: compare against the database instead of updating it; "
+             "exit 1 when the found best regresses the recorded score",
+    )
+    tune_parser.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRACTION",
+        help="allowed score regression for --check (default: 0.25)",
+    )
+    tune_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the database entry plus every trial as JSON",
+    )
+    _add_jobs_argument(tune_parser)
+    _add_no_cache_argument(tune_parser)
+    tune_parser.set_defaults(func=_cmd_tune)
+
+    tune_table_parser = sub.add_parser(
+        "tune-table",
+        help="tuned-vs-model comparison table from the tuning database",
+    )
+    tune_table_parser.add_argument(
+        "--tuning-db", default=None, metavar="PATH",
+        help="database to read (default resolution chain, see README)",
+    )
+    tune_table_parser.add_argument(
+        "--device", default=None,
+        help="only show entries of one device (default: all)",
+    )
+    tune_table_parser.set_defaults(func=_cmd_tune_table)
+
     bench_parser = sub.add_parser(
         "bench",
         help="measure the compiler's own performance and emit BENCH_*.json",
@@ -475,6 +687,20 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=1, metavar="N",
         help="fan the work across N processes (0 = all cores; default: 1); "
              "results are identical for every N",
+    )
+
+
+def _add_tuned_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tuned", action="store_true",
+        help="apply the best known configuration from the tuning database "
+             "(explicit --widths win; without a database entry the model "
+             "selection is used)",
+    )
+    parser.add_argument(
+        "--tuning-db", default=None, metavar="PATH",
+        help="tuning database for --tuned (default: $HEXCC_TUNING_DB, the "
+             "user db, then the committed baseline)",
     )
 
 

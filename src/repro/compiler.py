@@ -152,10 +152,14 @@ class HybridCompiler:
         self,
         device: GPUDevice = GTX470,
         disk_cache: DiskCache | None = None,
+        tuning_db=None,
     ) -> None:
         self.device = device
         self.disk_cache = disk_cache
-        self.session = Session(device=device, strategy="hybrid", disk_cache=disk_cache)
+        self.session = Session(
+            device=device, strategy="hybrid", disk_cache=disk_cache,
+            tuning_db=tuning_db,
+        )
         # Result memo keyed by (program, tile_sizes, config, storage, threads).
         # StencilProgram hashes/compares by identity and the key tuple holds
         # a strong reference to it, so the entry can never be confused with a
@@ -176,6 +180,7 @@ class HybridCompiler:
         config: OptimizationConfig | None = None,
         storage: str = "expanded",
         threads: tuple[int, ...] | None = None,
+        tuned: bool = False,
     ) -> CompilationResult:
         """Run the full pipeline on one stencil program.
 
@@ -192,6 +197,9 @@ class HybridCompiler:
             when omitted.
         storage:
             Dependence storage model passed to the canonicaliser.
+        tuned:
+            Apply the best known configuration from the tuning database when
+            no explicit ``tile_sizes`` are given (see :meth:`Session.run`).
         """
         if isinstance(program, str):
             from repro.frontend import parse_stencil
@@ -199,7 +207,7 @@ class HybridCompiler:
             program = parse_stencil(program)
         config = config or OptimizationConfig.default()
 
-        key = (program, tile_sizes, config, storage, threads)
+        key = (program, tile_sizes, config, storage, threads, tuned)
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
@@ -212,6 +220,7 @@ class HybridCompiler:
             storage=storage,
             threads=threads,
             stop_after="codegen",
+            tuned=tuned,
         )
         result = run.result()
         self._remember(key, result)

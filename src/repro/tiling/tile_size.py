@@ -17,13 +17,48 @@ the box that was not already loaded by the preceding tile along the innermost
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Iterable
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
 
 from repro.model.preprocess import CanonicalForm
 from repro.tiling.cone import DependenceCone
 from repro.tiling.hexagon import HexagonalTileShape, minimal_width
 from repro.tiling.hybrid import TileSizes
+
+#: Reasons a tile-size candidate can be pruned during a search.  Shared with
+#: the autotuner's candidate generator (:mod:`repro.tuning.space`) so both
+#: report the same vocabulary in ``hexcc inspect``/``hexcc tune``.
+PRUNE_SHARED_MEMORY = "shared_memory_overflow"
+PRUNE_LEGALITY = "legality"
+PRUNE_OCCUPANCY = "occupancy_floor"
+PRUNE_REASONS = (PRUNE_SHARED_MEMORY, PRUNE_LEGALITY, PRUNE_OCCUPANCY)
+
+
+def new_prune_counters() -> dict[str, int]:
+    """A fresh ``reason -> count`` mapping, plus the ``evaluated`` counter."""
+    counters = {reason: 0 for reason in PRUNE_REASONS}
+    counters["evaluated"] = 0
+    return counters
+
+
+def height_is_legal(height: int, num_statements: int) -> bool:
+    """``h + 1`` must be a multiple of the statement count (Section 3.3).
+
+    Shared between :func:`select_tile_sizes` and the autotuner's candidate
+    generator so the two searches can never disagree on legality.
+    """
+    return (height + 1) % num_statements == 0
+
+
+def inner_width_keeps_full_warps(
+    widths: tuple[int, ...], ndim: int, warp_size: int
+) -> bool:
+    """2-D+ stencils must fill whole warps along the innermost dimension.
+
+    Partial warps idle cores on every barrier step (Section 2); 1-D stencils
+    have no classically-tiled inner dimension, so no constraint applies.
+    """
+    return ndim < 2 or widths[-1] % warp_size == 0
 
 
 @dataclass(frozen=True)
@@ -35,6 +70,13 @@ class TileCostEstimate:
     loads: int
     stores: int
     shared_memory_bytes: int
+    #: When produced by a search (:func:`select_tile_sizes`), the counts of
+    #: candidates pruned per reason plus the ``evaluated`` count — why the
+    #: rest of the space was rejected.  Excluded from equality so estimates
+    #: from different searches still compare by their cost figures.
+    rejections: Mapping[str, int] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def load_to_compute(self) -> float:
@@ -194,13 +236,25 @@ def select_tile_sizes(
       warps execute, accesses are stride-one and loads are cache-line aligned
       (Section 2);
     * the shared-memory footprint must stay below ``shared_memory_limit``.
+
+    The returned estimate carries a ``rejections`` mapping counting, per
+    :data:`PRUNE_REASONS`, how many candidate points the search pruned (a
+    ``w_0`` below the convexity minimum is *clamped* to it and counted as a
+    legality prune of the raw point) plus the number actually ``evaluated``.
     """
     model = TileSizeModel(canonical)
     k = canonical.num_statements
     ndim = len(canonical.space_dims)
 
+    # Caller-supplied axes are trusted as-is (callers may deliberately probe
+    # off-grid points); only the built-in default axes are filtered — and
+    # counted per prune reason.  The default inner widths are warp multiples
+    # by construction, so ``occupancy_floor`` is zero unless a custom axis
+    # violates the full-warp constraint knowingly.
+    default_heights = height_candidates is None
+    default_inner = inner_width_candidates is None
     if height_candidates is None:
-        height_candidates = [h for h in range(0, 17) if (h + 1) % k == 0]
+        height_candidates = list(range(0, 17))
     if width_candidates is None:
         width_candidates = [1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32]
     if inner_width_candidates is None:
@@ -209,36 +263,57 @@ def select_tile_sizes(
     heights = list(height_candidates)
     widths = list(width_candidates)
     inner_widths = list(inner_width_candidates)
+    pruned = new_prune_counters()
 
     best: TileCostEstimate | None = None
     for height in heights:
+        if default_heights and not height_is_legal(height, k):
+            pruned[PRUNE_LEGALITY] += 1
+            continue
         min_w0 = minimal_width(model.cone.delta0, model.cone.delta1, height)
         if ndim == 1:
-            candidate_tuples = [(max(w, min_w0),) for w in widths]
+            raw_w0s = [(w,) for w in widths]
         else:
             middle_dims = ndim - 2
-            middle_choices = (
+            middle_choices = list(
                 itertools.product(widths, repeat=middle_dims) if middle_dims else [()]
             )
-            candidate_tuples = [
-                (max(w0, min_w0), *middle, inner)
+            raw_w0s = [
+                (w0, *middle, inner)
                 for w0 in widths
                 for middle in middle_choices
                 for inner in inner_widths
             ]
-        for candidate in candidate_tuples:
+        for raw in raw_w0s:
+            if raw[0] < min_w0:
+                # Condition (1) of Section 3.3: the hexagon degenerates below
+                # this width.  The point is clamped to the minimum (so the
+                # boundary candidate is still explored) and the raw point
+                # counted as a legality prune.
+                pruned[PRUNE_LEGALITY] += 1
+            candidate = (max(raw[0], min_w0), *raw[1:])
+            if default_inner and not inner_width_keeps_full_warps(
+                candidate, ndim, warp_size
+            ):
+                pruned[PRUNE_OCCUPANCY] += 1
+                continue
             sizes = TileSizes(height, tuple(candidate))
             estimate = model.estimate(sizes, inter_tile_reuse=inter_tile_reuse)
             if estimate.shared_memory_bytes > shared_memory_limit:
+                pruned[PRUNE_SHARED_MEMORY] += 1
                 continue
+            pruned["evaluated"] += 1
             if best is None or _better(estimate, best):
                 best = estimate
     if best is None:
         raise ValueError(
-            "no tile size satisfies the shared-memory limit; "
+            "no legal tile size found within the shared-memory limit "
+            f"(pruned: {PRUNE_SHARED_MEMORY}={pruned[PRUNE_SHARED_MEMORY]}, "
+            f"{PRUNE_LEGALITY}={pruned[PRUNE_LEGALITY]}, "
+            f"{PRUNE_OCCUPANCY}={pruned[PRUNE_OCCUPANCY]}); "
             "decrease the tile widths or increase the limit"
         )
-    return best
+    return replace(best, rejections=pruned)
 
 
 def _better(candidate: TileCostEstimate, incumbent: TileCostEstimate) -> bool:

@@ -1,0 +1,308 @@
+"""The tuning loop: search the candidate space, score, record the winner.
+
+:func:`tune` is the programmatic counterpart of ``hexcc tune``: it derives
+the legal candidate space from the program (:mod:`repro.tuning.space`),
+spends an evaluation budget with a named search strategy
+(:mod:`repro.tuning.strategies`), scores candidates with a named objective
+(:mod:`repro.tuning.objectives`) fanned across worker processes by
+:func:`repro.engine.map_ordered`, and returns a :class:`TuningResult` that
+can be recorded into the persistent :class:`repro.tuning.db.TuningDatabase`.
+
+The model-selected configuration (the paper's §3.7 answer) is always
+evaluated *in addition to* the strategy's budget, so the search result can
+never be worse than the model: ``best`` is the cheapest of all trials
+including that baseline.
+
+Sweeps are **incremental**: every evaluated trial and the enumerated
+candidate space are stored in the shared :class:`~repro.cache.DiskCache`
+under tuning-owned stage keys (content-hashed over the program, the device,
+the objective, the configuration and the compiler code fingerprint, so a
+code change re-measures everything).  Re-running a sweep — same seed or a
+different strategy visiting overlapping candidates — only measures
+candidates never seen before; a fully warm re-run reduces to cache lookups.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.api.config import OptimizationConfig
+from repro.api.session import Session, program_digest
+from repro.cache import DiskCache
+from repro.cache.keys import stage_key
+from repro.engine import map_ordered
+from repro.gpu.device import GPUDevice, GTX470
+from repro.model.program import StencilProgram
+from repro.tuning.db import TuningDatabase
+from repro.tuning.objectives import (
+    EvaluationJob,
+    TuningTrial,
+    evaluate_candidate,
+    list_objectives,
+)
+from repro.tuning.space import Candidate, CandidateSpace
+from repro.tuning.strategies import get_search_strategy
+
+
+@dataclass
+class TuningResult:
+    """Everything one tuning sweep produced."""
+
+    program_name: str
+    sizes: tuple[int, ...]
+    steps: int
+    digest: str
+    device: str
+    strategy: str
+    objective: str
+    seed: int
+    budget: int
+    trials: list[TuningTrial]
+    baseline: TuningTrial
+    best: TuningTrial
+    space_size: int
+    rejections: Mapping[str, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    @property
+    def improvement(self) -> float:
+        """Baseline-over-best score ratio (> 1 means the search won)."""
+        if self.best.score <= 0:
+            return 1.0
+        return self.baseline.score / self.best.score
+
+    def to_entry(self) -> dict[str, Any]:
+        """The tuning-database entry of this sweep.
+
+        Deliberately free of timestamps, wall times and environment data:
+        an identical ``(seed, budget)`` sweep with a deterministic objective
+        must reproduce this entry byte for byte.
+        """
+        return {
+            "program": self.program_name,
+            "sizes": list(self.sizes),
+            "steps": self.steps,
+            "digest": self.digest,
+            "device": self.device,
+            "strategy": self.strategy,
+            "objective": self.objective,
+            "seed": self.seed,
+            "budget": self.budget,
+            "evaluations": len(self.trials) + 1,  # + the model baseline
+            "failures": sum(1 for trial in self.trials if not trial.ok),
+            "space_size": self.space_size,
+            "best": _candidate_entry(self.best),
+            "baseline": _candidate_entry(self.baseline),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"tuned {self.program_name} on {self.device} "
+            f"(strategy={self.strategy}, objective={self.objective}, "
+            f"seed={self.seed}, budget={self.budget})",
+            f"  space      : {self.space_size} candidates "
+            f"({_format_rejections(self.rejections)})",
+            f"  evaluated  : {len(self.trials) + 1} "
+            f"({sum(1 for t in self.trials if not t.ok)} failed) "
+            f"in {self.wall_s:.2f}s",
+            f"  model      : {self.baseline.describe()}",
+            f"  best       : {self.best.describe()}",
+            f"  improvement: {self.improvement:.3f}x over the model selection",
+        ]
+        return "\n".join(lines)
+
+
+def _candidate_entry(trial: TuningTrial) -> dict[str, Any]:
+    return {
+        "height": trial.candidate.sizes.height,
+        "widths": list(trial.candidate.sizes.widths),
+        "threads": list(trial.candidate.threads)
+        if trial.candidate.threads is not None
+        else None,
+        "score": trial.score,
+    }
+
+
+def _format_rejections(rejections: Mapping[str, int]) -> str:
+    pruned = {k: v for k, v in rejections.items() if k != "evaluated" and v}
+    if not pruned:
+        return "nothing pruned"
+    return "pruned: " + ", ".join(f"{k}={v}" for k, v in sorted(pruned.items()))
+
+
+def _trial_key(
+    digest: str, device: GPUDevice, objective: str, config, candidate: Candidate
+) -> str:
+    """Disk-cache key of one evaluated trial (chained like a pipeline stage)."""
+    return stage_key(
+        stage="tuning-trial",
+        stage_schema=1,
+        strategy="hybrid",
+        parts=[
+            f"program={digest}",
+            f"device={device.name}",
+            f"objective={objective}",
+            f"config={config!r}",
+            f"candidate={candidate!r}",
+        ],
+    )
+
+
+def _space_cache_key(
+    digest: str, device: GPUDevice, inter_tile_reuse: bool, tune_threads: bool
+) -> str:
+    """Disk-cache key of the enumerated candidate space."""
+    return stage_key(
+        stage="tuning-space",
+        stage_schema=1,
+        strategy="hybrid",
+        parts=[
+            f"program={digest}",
+            f"device={device.name}",
+            f"shared={device.shared_memory_per_sm}",
+            f"warp={device.warp_size}",
+            f"reuse={inter_tile_reuse}",
+            f"threads={tune_threads}",
+        ],
+    )
+
+
+def tune(
+    program: StencilProgram,
+    *,
+    strategy: str = "random",
+    objective: str = "model",
+    budget: int = 32,
+    seed: int = 0,
+    jobs: int = 1,
+    device: GPUDevice = GTX470,
+    config: OptimizationConfig | None = None,
+    tune_threads: bool = False,
+    disk_cache: DiskCache | None = None,
+    db: TuningDatabase | None = None,
+) -> TuningResult:
+    """Autotune one stencil program; optionally record into ``db``.
+
+    Parameters mirror ``hexcc tune``.  ``disk_cache`` is shared with the
+    worker processes (they reopen it by root path), so every candidate run
+    resumes from the cached ``canonicalize`` artifact — and previously
+    evaluated trials (plus the enumerated space) are replayed from the cache
+    instead of re-measured, making warm sweep re-runs nearly free.
+    """
+    if objective not in list_objectives():
+        raise ValueError(
+            f"unknown tuning objective {objective!r}; known: {list_objectives()}"
+        )
+    search = get_search_strategy(strategy)
+    config = config or OptimizationConfig.default()
+    started = time.perf_counter()
+
+    # One shared pipeline prefix: parse + canonicalize once, so the space and
+    # every candidate evaluation reuse the same cached artifact.
+    session = Session(device=device, strategy="hybrid", disk_cache=disk_cache)
+    prefix = session.run(program, config=config, stop_after="canonicalize")
+    canonical = prefix.artifact("canonicalize").canonical
+    digest = program_digest(prefix.artifact("parse").program)
+
+    inter_tile_reuse = config.inter_tile_reuse != "none"
+    space = CandidateSpace(
+        canonical,
+        device,
+        inter_tile_reuse=inter_tile_reuse,
+        tune_threads=tune_threads,
+    )
+    if disk_cache is not None:
+        space_key = _space_cache_key(digest, device, inter_tile_reuse, tune_threads)
+        cached_space = disk_cache.get(space_key, stage="tuning-space")
+        if (
+            isinstance(cached_space, tuple)
+            and len(cached_space) == 2
+            and isinstance(cached_space[0], list)
+        ):
+            space.preload(*cached_space)
+        else:
+            disk_cache.put(
+                space_key,
+                (space.enumerate(), dict(space.rejections)),
+                stage="tuning-space",
+            )
+
+    cache_root = str(disk_cache.root) if disk_cache is not None else None
+
+    def evaluate(batch: Sequence[Candidate]) -> list[TuningTrial]:
+        """Replay cached trials; measure (and record) only unseen candidates."""
+        trials: list[TuningTrial | None] = [None] * len(batch)
+        missing: list[tuple[int, Candidate]] = []
+        for index, candidate in enumerate(batch):
+            if disk_cache is not None:
+                cached = disk_cache.get(
+                    _trial_key(digest, device, objective, config, candidate),
+                    stage="tuning-trial",
+                )
+                if isinstance(cached, TuningTrial):
+                    trials[index] = cached
+                    continue
+            missing.append((index, candidate))
+        fresh = map_ordered(
+            evaluate_candidate,
+            [
+                EvaluationJob(
+                    program=program,
+                    candidate=candidate,
+                    objective=objective,
+                    device=device,
+                    config=config,
+                    cache_root=cache_root,
+                )
+                for _, candidate in missing
+            ],
+            jobs=jobs,
+        )
+        for (index, candidate), trial in zip(missing, fresh):
+            trials[index] = trial
+            if disk_cache is not None:
+                disk_cache.put(
+                    _trial_key(digest, device, objective, config, candidate),
+                    trial,
+                    stage="tuning-trial",
+                )
+        return [trial for trial in trials if trial is not None]
+
+    # The §3.7 model selection, snapped to the space: always evaluated, and
+    # handed to strategies that exploit a starting point.
+    model_plan = session.run(program, config=config, stop_after="tiling")
+    model_sizes = model_plan.artifact("tiling").sizes
+    start = space.closest(model_sizes)
+    baseline = evaluate([Candidate(sizes=model_sizes)])[0]
+
+    trials = search.search(space, evaluate, budget, seed, start=start)
+    succeeded = [trial for trial in trials if trial.ok]
+    best = min(
+        succeeded + [baseline],
+        key=lambda trial: (trial.score, trial.candidate.label()),
+    )
+
+    result = TuningResult(
+        program_name=program.name,
+        sizes=tuple(program.sizes),
+        steps=program.time_steps,
+        digest=digest,
+        device=device.name,
+        strategy=strategy,
+        objective=objective,
+        seed=seed,
+        budget=budget,
+        trials=trials,
+        baseline=baseline,
+        best=best,
+        space_size=len(space),
+        rejections=space.rejections,
+        wall_s=time.perf_counter() - started,
+    )
+    if db is not None:
+        db.record(result.to_entry())
+    if disk_cache is not None:
+        disk_cache.flush_stats()
+    return result

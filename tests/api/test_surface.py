@@ -72,19 +72,20 @@ def _parameter_names(callable_) -> list[str]:
 def test_session_signatures_are_pinned():
     assert _parameter_names(api.Session.__init__) == [
         "self", "device", "strategy", "disk_cache", "cache_capacity", "observers",
+        "tuning_db",
     ]
     assert _parameter_names(api.Session.run) == [
         "self", "program", "tile_sizes", "config", "storage", "threads",
-        "strategy", "stop_after", "inject",
+        "strategy", "stop_after", "inject", "tuned",
     ]
 
 
 def test_facade_signatures_are_pinned():
     assert _parameter_names(api.HybridCompiler.compile) == [
-        "self", "program", "tile_sizes", "config", "storage", "threads",
+        "self", "program", "tile_sizes", "config", "storage", "threads", "tuned",
     ]
     assert _parameter_names(api.HybridCompiler.__init__) == [
-        "self", "device", "disk_cache",
+        "self", "device", "disk_cache", "tuning_db",
     ]
 
 

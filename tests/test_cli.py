@@ -1,5 +1,7 @@
 """Tests for the hexcc command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -258,3 +260,120 @@ def test_missing_command_is_a_usage_error():
 def test_help_exits_zero(capsys):
     assert main(["--help"]) == 0
     assert "hexcc" in capsys.readouterr().out
+
+
+# -- autotuning ----------------------------------------------------------------------
+
+
+def test_tune_command_records_and_reports(tmp_path, monkeypatch, capsys):
+    db_path = tmp_path / "tuning.json"
+    monkeypatch.setenv("HEXCC_TUNING_DB", str(db_path))
+    code = main(["tune", "jacobi_2d", "--budget", "4", "--objective", "model",
+                 "--seed", "3"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "tuned jacobi_2d" in output
+    assert "improvement" in output
+    assert db_path.is_file()
+    assert str(db_path) in output
+
+
+def test_tune_then_compile_tuned_applies_the_entry(tmp_path, monkeypatch, capsys):
+    db_path = tmp_path / "tuning.json"
+    monkeypatch.setenv("HEXCC_TUNING_DB", str(db_path))
+    assert main(["tune", "heat_2d", "--budget", "4", "--objective", "model"]) == 0
+    capsys.readouterr()
+    assert main(["compile", "heat_2d", "--tuned"]) == 0
+    assert "applying tuned configuration" in capsys.readouterr().out
+
+
+def test_compile_tuned_without_entry_falls_back(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("HEXCC_TUNING_DB", str(tmp_path / "empty.json"))
+    assert main(["compile", "gradient_3d", "--tuned"]) == 0
+    output = capsys.readouterr().out
+    assert "no tuned configuration" in output
+    assert "GStencils/s" in output
+
+
+def test_compile_tuned_reads_committed_baseline(capsys):
+    # No env override, no user db (cache dir is per-test): the resolution
+    # chain ends at the committed package baseline, which covers heat_3d.
+    assert main(["compile", "heat3d", "--tuned"]) == 0
+    assert "applying tuned configuration" in capsys.readouterr().out
+
+
+def test_tune_json_output(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("HEXCC_TUNING_DB", str(tmp_path / "tuning.json"))
+    assert main(["tune", "jacobi_1d", "--budget", "3", "--objective", "model",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out.split("recorded the winner")[0])
+    assert payload["program"] == "jacobi_1d"
+    assert payload["seed"] == 0
+    assert len(payload["trials"]) == 3
+
+
+def test_tune_check_passes_against_fresh_db(tmp_path, monkeypatch, capsys):
+    db_path = tmp_path / "tuning.json"
+    monkeypatch.setenv("HEXCC_TUNING_DB", str(db_path))
+    args = ["tune", "jacobi_2d", "--budget", "4", "--objective", "model"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args + ["--check"]) == 0
+    assert "check OK" in capsys.readouterr().out
+
+
+def test_tune_check_fails_without_recorded_entry(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("HEXCC_TUNING_DB", str(tmp_path / "missing.json"))
+    code = main(["tune", "jacobi_2d", "--budget", "3", "--objective", "model",
+                 "--check"])
+    assert code == 1
+    assert "no 'model' entry" in capsys.readouterr().err
+
+
+def test_tune_usage_errors(capsys):
+    assert main(["tune", "jacobi_2d", "--strategy", "bogus"]) == 2
+    assert "unknown search strategy" in capsys.readouterr().err
+    assert main(["tune", "jacobi_2d", "--objective", "bogus"]) == 2
+    assert "unknown tuning objective" in capsys.readouterr().err
+    assert main(["tune", "jacobi_2d", "--budget", "0"]) == 2
+    assert main(["tune", "not_a_stencil"]) == 2
+
+
+def test_tune_table_command(tmp_path, monkeypatch, capsys):
+    db_path = tmp_path / "tuning.json"
+    monkeypatch.setenv("HEXCC_TUNING_DB", str(db_path))
+    assert main(["tune", "jacobi_2d", "--budget", "4", "--objective", "model"]) == 0
+    capsys.readouterr()
+    assert main(["tune-table"]) == 0
+    output = capsys.readouterr().out
+    assert "jacobi_2d" in output and "speedup" in output
+
+
+def test_tune_table_empty_db(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("HEXCC_TUNING_DB", str(tmp_path / "none.json"))
+    assert main(["tune-table"]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+def test_compact_stencil_names_resolve(capsys):
+    assert main(["inspect", "heat3d", "--stop-after", "parse"]) == 0
+    assert "heat_3d" in capsys.readouterr().out
+
+
+def test_inspect_tiling_json_reports_pruned_reasons(capsys):
+    assert main(["inspect", "heat_3d", "--stop-after", "tiling", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    pruned = payload["artifacts"]["tiling"]["model_pruned"]
+    assert pruned["shared_memory_overflow"] > 0
+    assert "legality" in pruned and "occupancy_floor" in pruned
+    assert pruned["evaluated"] > 0
+
+
+def test_explicit_widths_suppress_tuned_announcement(capsys):
+    # --tuned with explicit --widths: the explicit sizes win, so no tuned
+    # configuration is announced (the baseline DB does have a heat_3d entry).
+    assert main(["compile", "heat_3d", "--tuned", "--h", "2",
+                 "--widths", "7,10,32"]) == 0
+    output = capsys.readouterr().out
+    assert "applying tuned configuration" not in output
+    assert "h=2, w=(7, 10, 32)" in output

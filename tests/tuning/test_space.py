@@ -1,0 +1,199 @@
+"""The candidate space: legality by construction, prune accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import GTX470, NVS5200M
+from repro.model.preprocess import canonicalize
+from repro.stencils import get_stencil
+from repro.tiling.hexagon import minimal_width
+from repro.tiling.tile_size import (
+    PRUNE_LEGALITY,
+    PRUNE_OCCUPANCY,
+    PRUNE_SHARED_MEMORY,
+    TileSizeModel,
+    select_tile_sizes,
+)
+from repro.tuning import Candidate, CandidateSpace
+
+
+@pytest.fixture(scope="module")
+def heat3d_canonical():
+    return canonicalize(get_stencil("heat_3d"))
+
+
+@pytest.fixture(scope="module")
+def fdtd_canonical():
+    return canonicalize(get_stencil("fdtd_2d"))
+
+
+def test_every_candidate_fits_shared_memory(heat3d_canonical):
+    space = CandidateSpace(heat3d_canonical, GTX470)
+    model = TileSizeModel(heat3d_canonical)
+    assert len(space) > 0
+    for candidate in space:
+        estimate = model.estimate(candidate.sizes, inter_tile_reuse=True)
+        assert estimate.shared_memory_bytes <= GTX470.shared_memory_per_sm
+
+
+def test_every_candidate_satisfies_convexity(heat3d_canonical):
+    space = CandidateSpace(heat3d_canonical, GTX470)
+    model = TileSizeModel(heat3d_canonical)
+    for candidate in space:
+        floor = minimal_width(
+            model.cone.delta0, model.cone.delta1, candidate.sizes.height
+        )
+        assert candidate.sizes.w0 >= floor
+
+
+def test_multi_statement_heights_are_statement_multiples(fdtd_canonical):
+    space = CandidateSpace(fdtd_canonical, GTX470)
+    k = fdtd_canonical.num_statements
+    assert k == 3
+    for candidate in space:
+        assert (candidate.sizes.height + 1) % k == 0
+    assert space.rejections[PRUNE_LEGALITY] > 0
+
+
+def test_inner_width_is_full_warps(heat3d_canonical):
+    space = CandidateSpace(heat3d_canonical, GTX470)
+    for candidate in space:
+        assert candidate.sizes.widths[-1] % GTX470.warp_size == 0
+
+
+def test_shared_memory_prunes_are_counted(heat3d_canonical):
+    space = CandidateSpace(heat3d_canonical, GTX470)
+    rejections = space.rejections
+    assert rejections[PRUNE_SHARED_MEMORY] > 0
+    assert rejections["evaluated"] == len(space)
+
+
+def test_occupancy_floor_prunes_non_warp_inner_widths(heat3d_canonical):
+    space = CandidateSpace(heat3d_canonical, GTX470, inner_widths=(16, 32))
+    assert space.rejections[PRUNE_OCCUPANCY] > 0
+    for candidate in space:
+        assert candidate.sizes.widths[-1] == 32
+
+
+def test_smaller_shared_memory_shrinks_the_space(heat3d_canonical):
+    from dataclasses import replace
+
+    big = CandidateSpace(heat3d_canonical, GTX470)
+    tiny_device = replace(NVS5200M, shared_memory_per_sm=16 * 1024)
+    small = CandidateSpace(heat3d_canonical, tiny_device)
+    assert len(small) < len(big)
+    assert small.rejections[PRUNE_SHARED_MEMORY] > big.rejections[PRUNE_SHARED_MEMORY]
+
+
+def test_enumeration_is_deterministic(heat3d_canonical):
+    first = CandidateSpace(heat3d_canonical, GTX470).enumerate()
+    second = CandidateSpace(heat3d_canonical, GTX470).enumerate()
+    assert first == second
+
+
+def test_preload_replays_a_cached_enumeration(heat3d_canonical):
+    source = CandidateSpace(heat3d_canonical, GTX470)
+    clone = CandidateSpace(heat3d_canonical, GTX470)
+    clone.preload(source.enumerate(), source.rejections)
+    assert clone.enumerate() == source.enumerate()
+    assert clone.rejections == source.rejections
+
+
+def test_tune_threads_adds_launch_variants(heat3d_canonical):
+    plain = CandidateSpace(heat3d_canonical, GTX470)
+    threaded = CandidateSpace(heat3d_canonical, GTX470, tune_threads=True)
+    assert len(threaded) > len(plain)
+    shapes = {candidate.threads for candidate in threaded}
+    assert None in shapes
+    assert any(shape is not None for shape in shapes)
+    for candidate in threaded:
+        if candidate.threads is not None:
+            assert 1 <= _product(candidate.threads) <= GTX470.max_threads_per_block
+
+
+def _product(values):
+    out = 1
+    for value in values:
+        out *= value
+    return out
+
+
+def test_neighbours_are_axis_aligned_members(heat3d_canonical):
+    space = CandidateSpace(heat3d_canonical, GTX470)
+    members = set(space.enumerate())
+    candidate = space.enumerate()[len(space) // 2]
+    neighbours = space.neighbours(candidate)
+    assert neighbours
+    for neighbour in neighbours:
+        assert neighbour in members
+        assert neighbour != candidate
+        differing = sum(
+            a != b
+            for a, b in zip(
+                (neighbour.sizes.height, *neighbour.sizes.widths),
+                (candidate.sizes.height, *candidate.sizes.widths),
+            )
+        )
+        assert differing == 1
+
+
+def test_closest_snaps_model_selection_into_the_space(heat3d_canonical):
+    space = CandidateSpace(heat3d_canonical, GTX470)
+    best = select_tile_sizes(heat3d_canonical)
+    snapped = space.closest(best.sizes)
+    assert snapped is not None
+    assert snapped in set(space.enumerate())
+
+
+def test_select_tile_sizes_reports_rejections(heat3d_canonical):
+    estimate = select_tile_sizes(heat3d_canonical)
+    assert estimate.rejections is not None
+    assert estimate.rejections[PRUNE_SHARED_MEMORY] > 0
+    assert estimate.rejections["evaluated"] > 0
+
+
+def test_rejections_do_not_affect_estimate_equality(heat3d_canonical):
+    model = TileSizeModel(heat3d_canonical)
+    chosen = select_tile_sizes(heat3d_canonical)
+    recomputed = model.estimate(chosen.sizes, inter_tile_reuse=True)
+    # Same cost figures, different (None) rejection payload: still equal.
+    assert recomputed == chosen
+
+
+def test_1d_space_has_no_warp_constraint():
+    canonical = canonicalize(get_stencil("jacobi_1d"))
+    space = CandidateSpace(canonical, GTX470)
+    assert any(c.sizes.widths[-1] % GTX470.warp_size != 0 for c in space)
+
+
+def test_candidate_label_mentions_threads():
+    from repro.tiling.hybrid import TileSizes
+
+    plain = Candidate(TileSizes.of(2, 4, 32))
+    threaded = Candidate(TileSizes.of(2, 4, 32), threads=(1, 64))
+    assert "threads" not in plain.label()
+    assert "threads=(1, 64)" in threaded.label()
+
+
+def test_3d_sweep_explores_all_w0_values(heat3d_canonical):
+    """Regression: the §3.7 sweep used to exhaust an itertools.product
+    generator after the first w0, so 3-D stencils never explored middle
+    widths beyond w0=1.  The fixed sweep must find a strictly better
+    load-to-compute ratio than the best w0=1 candidate."""
+    from repro.tiling.hybrid import TileSizes
+
+    model = TileSizeModel(heat3d_canonical)
+    best = select_tile_sizes(heat3d_canonical)
+    old_buggy_winner = model.estimate(TileSizes.of(3, 1, 20, 32))
+    assert best.load_to_compute < old_buggy_winner.load_to_compute
+    assert best.sizes.w0 > 1
+
+
+def test_explicit_height_candidates_are_trusted(fdtd_canonical):
+    # Callers may deliberately probe heights off the legality grid; explicit
+    # candidate lists bypass the statement-multiplicity filter (and are not
+    # counted as prunes), matching the pre-rejection-accounting behaviour.
+    estimate = select_tile_sizes(fdtd_canonical, height_candidates=[1, 3])
+    assert estimate.sizes.height in (1, 3)
+    assert estimate.rejections[PRUNE_LEGALITY] == 0
