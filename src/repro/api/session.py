@@ -27,11 +27,12 @@ Key capabilities the monolithic ``HybridCompiler.compile()`` never exposed:
 from __future__ import annotations
 
 import hashlib
-import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
+from repro import obs
 from repro.api.artifacts import STAGE_ARTIFACTS, STAGES
 from repro.api.config import OptimizationConfig
 from repro.api.errors import PipelineError
@@ -191,11 +192,23 @@ class Session:
         Size of the in-memory pass-artifact LRU.
     observers:
         Callables invoked with each :class:`PassEvent` as passes finish.
+        This is the legacy instrumentation surface, kept as a thin shim over
+        the telemetry layer: dispatch is exception-safe (a raising observer
+        is counted in the ``session.observer_errors`` metric and warned
+        about once per session, never aborting the compile).  New code
+        should prefer ``telemetry=``.
     tuning_db:
         Where ``run(tuned=True)`` looks best known configurations up: a
         :class:`repro.tuning.TuningDatabase`, a path to one, or ``None`` for
         the default resolution chain (``$HEXCC_TUNING_DB`` → the user
         database → the committed baseline shipped with the package).
+    telemetry:
+        A :class:`repro.obs.Telemetry` receiving this session's spans and
+        metrics.  ``None`` (the default) uses whatever telemetry is ambient
+        at :meth:`run` time (see :func:`repro.obs.use`) — the shared no-op
+        unless a caller activated one.  An explicit telemetry is installed
+        as ambient for the duration of each run, so nested machinery (disk
+        cache, engine fan-outs, strategies) records into it too.
     """
 
     def __init__(
@@ -206,6 +219,7 @@ class Session:
         cache_capacity: int = 256,
         observers: Iterable[Callable[[PassEvent], None]] = (),
         tuning_db: Any = None,
+        telemetry: obs.Telemetry | None = None,
     ) -> None:
         get_strategy(strategy)  # fail fast on unknown names
         self.device = device
@@ -214,7 +228,9 @@ class Session:
         self.cache_capacity = cache_capacity
         self.observers = tuple(observers)
         self.tuning_db = tuning_db
+        self.telemetry = telemetry
         self._artifact_cache: OrderedDict[str, Any] = OrderedDict()
+        self._observer_warned = False
 
     # -- tuned-config resolution --------------------------------------------------
 
@@ -321,50 +337,102 @@ class Session:
         )
         get_strategy(request.strategy)  # fail fast before running any pass
 
+        # The session's explicit telemetry wins; otherwise record into
+        # whatever is ambient (the shared no-op unless a caller activated
+        # one).  Installing it as ambient makes the nested machinery — disk
+        # cache, strategies, engine fan-outs — record into the same trace.
+        telemetry = self.telemetry if self.telemetry is not None else obs.current()
+        label = program.name if isinstance(program, StencilProgram) else "<source>"
+        with obs.use(telemetry), telemetry.span(
+            "session.run",
+            program=label,
+            strategy=request.strategy,
+            device=request.device.name,
+            stop=stop,
+        ) as run_span:
+            artifacts, events = self._execute(request, stop, inject, telemetry)
+        telemetry.metrics.observe(
+            "compile.wall_ms", run_span.duration_s * 1e3, stop=stop
+        )
+        return PipelineRun(request, artifacts, events, stop, tuned_entry=tuned_entry)
+
+    def _execute(
+        self,
+        request: CompilationRequest,
+        stop: str,
+        inject: Mapping[str, Any],
+        telemetry: obs.Telemetry,
+    ) -> tuple[dict[str, Any], list[PassEvent]]:
+        """The pass loop; every pass is timed through its telemetry span."""
         artifacts: dict[str, Any] = {}
         events: list[PassEvent] = []
         parent_key: str | None = ""  # "" = pipeline root; None = uncacheable
         digest = ""
         for pipeline_pass in PIPELINE_PASSES:
-            start = time.perf_counter()
-            injected = inject.get(pipeline_pass.name)
-            if injected is not None:
-                artifact, source = injected, "injected"
-                parent_key = None  # downstream keys are no longer derivable
-            else:
-                key = None
-                if parent_key is not None and pipeline_pass.cacheable:
-                    key = pipeline_pass.key(
-                        request, artifacts, parent_key or None, digest
+            with telemetry.span(f"pass.{pipeline_pass.name}") as pass_span:
+                injected = inject.get(pipeline_pass.name)
+                if injected is not None:
+                    artifact, source = injected, "injected"
+                    parent_key = None  # downstream keys are no longer derivable
+                else:
+                    key = None
+                    if parent_key is not None and pipeline_pass.cacheable:
+                        key = pipeline_pass.key(
+                            request, artifacts, parent_key or None, digest
+                        )
+                        if key is None:
+                            # A cacheable pass that cannot key its output
+                            # (e.g. a user-registered strategy whose code the
+                            # fingerprint cannot see): stop caching from here.
+                            parent_key = None
+                    artifact, source = self._fetch_or_run(
+                        pipeline_pass, key, request, artifacts
                     )
-                    if key is None:
-                        # A cacheable pass that cannot key its output (e.g. a
-                        # user-registered strategy whose code the fingerprint
-                        # cannot see): stop caching from here on.
-                        parent_key = None
-                artifact, source = self._fetch_or_run(
-                    pipeline_pass, key, request, artifacts
-                )
-                if key is not None:
-                    # Uncacheable-by-design passes (parse) leave the chain
-                    # intact: their content reaches downstream keys via the
-                    # program digest.
-                    parent_key = key
+                    if key is not None:
+                        # Uncacheable-by-design passes (parse) leave the chain
+                        # intact: their content reaches downstream keys via
+                        # the program digest.
+                        parent_key = key
+                pass_span.set(source=source)
             artifacts[pipeline_pass.name] = artifact
             if pipeline_pass.name == "parse":
                 digest = program_digest(artifact.program)
+            # The span is the single timing source: PassEvent.wall_s, the
+            # trace, `hexcc profile` and the bench timings all agree.
             event = PassEvent(
                 name=pipeline_pass.name,
-                wall_s=time.perf_counter() - start,
+                wall_s=pass_span.duration_s,
                 source=source,
                 counters=_artifact_counters(artifact),
             )
             events.append(event)
-            for observer in self.observers:
-                observer(event)
+            self._notify_observers(event, telemetry)
             if pipeline_pass.name == stop:
                 break
-        return PipelineRun(request, artifacts, events, stop, tuned_entry=tuned_entry)
+        return artifacts, events
+
+    def _notify_observers(self, event: PassEvent, telemetry: obs.Telemetry) -> None:
+        """Exception-safe observer dispatch (the legacy instrumentation shim).
+
+        A raising observer must never abort a compile mid-pipeline: the
+        failure is counted in the ``session.observer_errors`` metric and
+        warned about once per session, then dispatch continues.
+        """
+        for observer in self.observers:
+            try:
+                observer(event)
+            except Exception as error:  # noqa: BLE001 — observer code is foreign
+                telemetry.metrics.count("session.observer_errors")
+                if not self._observer_warned:
+                    self._observer_warned = True
+                    warnings.warn(
+                        f"pass-event observer {observer!r} raised "
+                        f"{type(error).__name__}: {error}; further observer "
+                        "failures in this session are counted in the "
+                        "session.observer_errors metric and ignored",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
 
     # -- cache layering -----------------------------------------------------------
 

@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass
 from functools import partial
 from typing import Any, Sequence
 
+from repro import obs
 from repro.bench.schema import make_report, timing_entry
 from repro.cache import DiskCache
 from repro.engine import map_ordered
@@ -98,14 +99,24 @@ def measure_compile_stencil(
     # measured repeats below see the steady cross-run state.
     HybridCompiler(disk_cache=disk_cache).compile(program)
     runs: list[float] = []
+    stage_runs: dict[str, list[float]] = {}
     result = None
-    for _ in range(repeats):
-        compiler = HybridCompiler(disk_cache=disk_cache)
-        elapsed, result = _time_call(lambda: compiler.compile(program))
-        runs.append(elapsed)
+    compiler = None
+    with obs.span("bench.measure", suite="compile", stencil=name, repeats=repeats):
+        for _ in range(repeats):
+            compiler = HybridCompiler(disk_cache=disk_cache)
+            elapsed, result = _time_call(lambda: compiler.compile(program))
+            runs.append(elapsed)
+            # Per-stage wall times from the pass spans of the measured run,
+            # keyed by span name so bench, inspect and profile agree.
+            for event in compiler.last_run.events:
+                stage_runs.setdefault(f"pass.{event.name}", []).append(event.wall_s)
     estimate = result.execution_estimate()
     entry = {
         "wall_s": timing_entry(runs),
+        "timings": {
+            stage: timing_entry(values) for stage, values in stage_runs.items()
+        },
         "counters": _counters_dict(estimate.counters),
         "meta": {
             "sizes": list(program.sizes),
@@ -144,14 +155,17 @@ def measure_simulate_stencil(
     simulate_runs: list[float] = []
     total_runs: list[float] = []
     simulation = None
-    for _ in range(repeats):
-        elapsed_validate, report = _time_call(compiled.validate)
-        if not report.ok:
-            raise RuntimeError(f"{name}: schedule validation failed: {report}")
-        elapsed_simulate, simulation = _time_call(lambda: compiled.simulate(seed=0))
-        validate_runs.append(elapsed_validate)
-        simulate_runs.append(elapsed_simulate)
-        total_runs.append(elapsed_validate + elapsed_simulate)
+    with obs.span("bench.measure", suite="simulate", stencil=name, repeats=repeats):
+        for _ in range(repeats):
+            elapsed_validate, report = _time_call(compiled.validate)
+            if not report.ok:
+                raise RuntimeError(f"{name}: schedule validation failed: {report}")
+            elapsed_simulate, simulation = _time_call(
+                lambda: compiled.simulate(seed=0)
+            )
+            validate_runs.append(elapsed_validate)
+            simulate_runs.append(elapsed_simulate)
+            total_runs.append(elapsed_validate + elapsed_simulate)
     entry = {
         "wall_s": timing_entry(total_runs),
         "stages": {
@@ -209,14 +223,17 @@ def run_bench(options: BenchOptions) -> dict[str, Any]:
     stencils = options.effective_stencils()
     suites: dict[str, dict[str, Any]] = {}
     cache_totals: dict[str, int] = {}
-    if "compile" in options.suites:
-        suites["compile"] = _run_suite(
-            measure_compile_stencil, stencils, repeats, options, cache_totals
-        )
-    if "simulate" in options.suites:
-        suites["simulate"] = _run_suite(
-            measure_simulate_stencil, stencils, repeats, options, cache_totals
-        )
+    with obs.span(
+        "bench.run", suites=",".join(options.suites), stencils=len(stencils)
+    ):
+        if "compile" in options.suites:
+            suites["compile"] = _run_suite(
+                measure_compile_stencil, stencils, repeats, options, cache_totals
+            )
+        if "simulate" in options.suites:
+            suites["simulate"] = _run_suite(
+                measure_simulate_stencil, stencils, repeats, options, cache_totals
+            )
     report = make_report(suites, quick=options.quick, repeats=repeats)
     if options.disk_cache is not None:
         for counter in ("hits", "misses", "stores"):

@@ -25,6 +25,8 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
+
 #: Bump when the pickled artefact layout changes incompatibly; old entries
 #: are then ignored (and garbage collected) instead of being unpickled.
 SCHEMA_VERSION = 1
@@ -134,53 +136,69 @@ class DiskCache:
         """Fetch and unpickle one entry; corrupt or stale entries are dropped.
 
         ``stage`` (a pipeline pass name) attributes the hit/miss to a
-        per-stage counter for ``hexcc cache stats``.
+        per-stage counter for ``hexcc cache stats`` and to the telemetry
+        ``cache.hit``/``cache.miss`` metrics.
         """
-        path = self._path(key)
-        try:
-            blob = path.read_bytes()
-        except OSError:
-            self.misses += 1
-            self._count_stage(stage, "misses")
-            return None
-        try:
-            envelope = pickle.loads(blob)
-            kind, version, payload = envelope
-            if kind != _ENVELOPE_KIND or version != SCHEMA_VERSION:
-                raise ValueError(f"stale envelope {kind!r} v{version!r}")
-        except Exception:
-            # Truncated write, foreign file or stale schema: treat as a miss
-            # and garbage-collect the entry so it is not re-read forever.
-            self._discard(path)
-            self.misses += 1
-            self._count_stage(stage, "misses")
-            return None
-        self.hits += 1
-        self._count_stage(stage, "hits")
-        return payload
+        with obs.span("cache.get", stage=stage) as span:
+            path = self._path(key)
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                span.set(outcome="miss")
+                self._miss(stage)
+                return None
+            try:
+                with obs.span("cache.deserialize", stage=stage, bytes=len(blob)):
+                    envelope = pickle.loads(blob)
+                kind, version, payload = envelope
+                if kind != _ENVELOPE_KIND or version != SCHEMA_VERSION:
+                    raise ValueError(f"stale envelope {kind!r} v{version!r}")
+            except Exception:
+                # Truncated write, foreign file or stale schema: treat as a
+                # miss and garbage-collect the entry so it is not re-read
+                # forever.
+                self._discard(path)
+                span.set(outcome="stale")
+                self._miss(stage)
+                return None
+            span.set(outcome="hit", bytes=len(blob))
+            self.hits += 1
+            self._count_stage(stage, "hits")
+            obs.count("cache.hit", stage=stage)
+            return payload
+
+    def _miss(self, stage: str | None) -> None:
+        self.misses += 1
+        self._count_stage(stage, "misses")
+        obs.count("cache.miss", stage=stage)
 
     def put(self, key: str, payload: object, stage: str | None = None) -> None:
         """Atomically write one entry (last writer wins)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        blob = pickle.dumps(
-            (_ENVELOPE_KIND, SCHEMA_VERSION, payload), protocol=pickle.HIGHEST_PROTOCOL
-        )
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".pkl"
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                handle.write(blob)
-            os.replace(temp_name, path)
-        except BaseException:
+        with obs.span("cache.put", stage=stage) as span:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with obs.span("cache.serialize", stage=stage):
+                blob = pickle.dumps(
+                    (_ENVELOPE_KIND, SCHEMA_VERSION, payload),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            span.set(bytes=len(blob))
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            )
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        self.stores += 1
-        self._count_stage(stage, "stores")
+                with os.fdopen(descriptor, "wb") as handle:
+                    handle.write(blob)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            self.stores += 1
+            self._count_stage(stage, "stores")
+            obs.count("cache.store", stage=stage)
 
     def _discard(self, path: Path) -> None:
         try:

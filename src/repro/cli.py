@@ -24,6 +24,9 @@ Examples
     hexcc tune jacobi_2d --strategy hillclimb --seed 7
     hexcc compile heat_3d --tuned   # apply the best known configuration
     hexcc tune-table       # tuned-vs-model comparison across the database
+    hexcc trace heat3d -o trace.json   # Chrome trace (Perfetto-loadable)
+    hexcc profile jacobi_2d            # inclusive/exclusive pass ranking
+    hexcc bench --quick --trace bench_trace.json
 
 Exit codes are uniform across every subcommand: **0** on success, **1** on a
 compile/validation failure, **2** on a usage error (unknown stencil, table,
@@ -41,6 +44,7 @@ import argparse
 import json
 import sys
 
+from repro import obs
 from repro.api import (
     STAGES,
     HybridCompiler,
@@ -231,6 +235,12 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 }
                 for event in run.events
             ],
+            # Span-derived per-pass wall times, keyed like the trace/profile
+            # span names so the three views agree.
+            "timings": {
+                f"pass.{event.name}": {"wall_ms": event.wall_s * 1e3}
+                for event in run.events
+            },
             "artifacts": {
                 stage: run.artifacts[stage].summary() for stage in run.stages_run
             },
@@ -441,30 +451,130 @@ def _cmd_tune_table(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _trace_config_compile(job: tuple[str, str, str | None]) -> str:
+    """Compile one Table-4 configuration (picklable; runs in engine workers)."""
+    from repro.api.config import table4_configurations
+
+    stencil, label, cache_root = job
+    cache = DiskCache(cache_root) if cache_root else None
+    config = table4_configurations()[label]
+    HybridCompiler(disk_cache=cache).compile(get_stencil(stencil), config=config)
+    if cache is not None:
+        cache.flush_stats()
+    return label
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Record one fully-traced compile plus a fanned-out configuration sweep."""
+    from repro.api.config import table4_configurations
+    from repro.engine import map_ordered
+    from repro.obs.export import write_trace
+
+    program = _get_stencil_checked(args.stencil)
+    cache = _disk_cache(args)
+    telemetry = obs.Telemetry()
+    with obs.use(telemetry):
+        session = Session(
+            device=_get_device_checked(args.device),
+            strategy="hybrid",
+            disk_cache=cache,
+            telemetry=telemetry,
+        )
+        # All six stages, so the trace covers the whole pipeline.
+        session.run(program, stop_after="analysis")
+        # Fan the six Table-4 configurations across worker processes so the
+        # trace shows stitched per-process tracks (engine.worker subtrees).
+        cache_root = str(cache.root) if cache is not None else None
+        tasks = [
+            (program.name, label, cache_root) for label in table4_configurations()
+        ]
+        map_ordered(_trace_config_compile, tasks, jobs=args.jobs)
+    _flush_cache(cache)
+    spans = telemetry.recorder.drain()
+    path = write_trace(args.output, spans, telemetry.metrics.snapshot())
+    processes = len({span.pid for span in spans})
+    print(
+        f"wrote {path}: {len(spans)} spans across {processes} process(es); "
+        f"open in https://ui.perfetto.dev or chrome://tracing"
+    )
+    return EXIT_OK
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Rank passes, cache I/O and serialization by inclusive/exclusive time."""
+    from repro.obs.profile import format_profile, profile_rows, total_wall_s
+
+    program = _get_stencil_checked(args.stencil)
+    cache = _disk_cache(args)
+    telemetry = obs.Telemetry()
+    session = Session(
+        device=_get_device_checked(args.device),
+        strategy="hybrid",
+        disk_cache=cache,
+        telemetry=telemetry,
+    )
+    session.run(program, stop_after="analysis")
+    _flush_cache(cache)
+    spans = telemetry.recorder.drain()
+    rows = profile_rows(spans)
+    total = total_wall_s(spans)
+    if args.json:
+        payload = {
+            "stencil": program.name,
+            "device": session.device.name,
+            "total_wall_s": total,
+            "rows": [
+                {
+                    "name": row.name,
+                    "count": row.count,
+                    "inclusive_s": row.inclusive_s,
+                    "exclusive_s": row.exclusive_s,
+                }
+                for row in rows
+            ],
+            "metrics": telemetry.metrics.snapshot(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"profile of {program.name} (one traced compile):")
+        print(format_profile(rows, total))
+    return EXIT_OK
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
     from pathlib import Path
 
     from repro.bench import BenchOptions, run_bench, save_report
     from repro.bench.runner import format_report, select_stencils
 
     suites = ("compile", "simulate") if args.suite == "all" else (args.suite,)
+    telemetry = obs.Telemetry() if args.trace is not None else None
     try:
         stencils = (
             select_stencils(args.stencils.split(",")) if args.stencils else None
         )
-        report = run_bench(
-            BenchOptions(
-                suites=suites,
-                quick=args.quick,
-                repeats=args.repeats,
-                stencils=stencils,
-                jobs=args.jobs,
-                disk_cache=_disk_cache(args),
+        with obs.use(telemetry) if telemetry is not None else nullcontext():
+            report = run_bench(
+                BenchOptions(
+                    suites=suites,
+                    quick=args.quick,
+                    repeats=args.repeats,
+                    stencils=stencils,
+                    jobs=args.jobs,
+                    disk_cache=_disk_cache(args),
+                )
             )
-        )
     except ValueError as error:
         raise UsageError(str(error)) from None
     print(format_report(report))
+    if telemetry is not None:
+        from repro.obs.export import write_trace
+
+        path = write_trace(
+            args.trace, telemetry.recorder.drain(), telemetry.metrics.snapshot()
+        )
+        print(f"wrote {path}")
 
     if args.json is not None:
         path = save_report(report, args.json)
@@ -648,6 +758,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune_table_parser.set_defaults(func=_cmd_tune_table)
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="record a Chrome trace of a compile plus a fanned-out config sweep",
+    )
+    trace_parser.add_argument("stencil")
+    trace_parser.add_argument(
+        "-o", "--output", default="trace.json", metavar="PATH",
+        help="trace file to write (Chrome trace-event JSON; default: trace.json)",
+    )
+    trace_parser.add_argument("--device", default="gtx470")
+    trace_parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes for the configuration sweep "
+             "(0 = all cores; default: 2)",
+    )
+    _add_no_cache_argument(trace_parser)
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="rank pipeline passes and cache I/O by inclusive/exclusive time",
+    )
+    profile_parser.add_argument("stencil")
+    profile_parser.add_argument("--device", default="gtx470")
+    profile_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the rows plus the metrics snapshot as JSON",
+    )
+    _add_no_cache_argument(profile_parser)
+    profile_parser.set_defaults(func=_cmd_profile)
+
     bench_parser = sub.add_parser(
         "bench",
         help="measure the compiler's own performance and emit BENCH_*.json",
@@ -675,6 +816,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--out-dir", default=".",
         help="directory for the per-suite BENCH_*.json files (default: .)",
+    )
+    bench_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also record the run as a Chrome trace and write it to PATH",
     )
     _add_jobs_argument(bench_parser)
     _add_no_cache_argument(bench_parser)

@@ -167,6 +167,10 @@ class HybridCompiler:
         # from disk-cached artifacts, which reference their own unpickled
         # program copy rather than the caller's object.
         self._cache: OrderedDict[tuple, CompilationResult] = OrderedDict()
+        #: The :class:`repro.api.PipelineRun` behind the most recent
+        #: non-memoised :meth:`compile` — exposes the pass events (and their
+        #: span-derived timings) without widening the façade's return type.
+        self.last_run = None
 
     def cache_clear(self) -> None:
         """Drop all memoised results and pass artifacts (in-memory layers)."""
@@ -222,6 +226,7 @@ class HybridCompiler:
             stop_after="codegen",
             tuned=tuned,
         )
+        self.last_run = run
         result = run.result()
         self._remember(key, result)
         return result

@@ -2,20 +2,33 @@
 
 The engine intentionally exposes a single primitive — :func:`map_ordered` —
 because every parallel consumer in this code base (bench suites, table
-sweeps, validation batches) has the same shape: a list of independent job
-descriptions, a pure worker function, and a report assembled in input order.
+sweeps, validation batches, tuning sweeps) has the same shape: a list of
+independent job descriptions, a pure worker function, and a report assembled
+in input order.
 
 Determinism contract: ``map_ordered(fn, items, jobs=N)`` returns exactly
 ``[fn(item) for item in items]`` for every ``N``.  Parallelism changes wall
 time, never results or ordering.  Workers are separate processes; they share
 work products through the on-disk artefact cache rather than through memory.
+
+Telemetry: when a trace is being recorded (:func:`repro.obs.current` is
+enabled), each parallel item is shipped with a :class:`~repro.obs.TraceContext`
+and executed in the worker under a fresh recorder rooted at an
+``engine.worker`` span.  The worker's completed spans (carrying its real
+pid/tid) and its metrics snapshot ride back with the result and are stitched
+into the parent trace/registry — so a fanned-out run produces one coherent
+trace with per-process tracks.  With telemetry disabled (the default), the
+fan-out path is byte-for-byte the old one: no wrapping, no extra pickling.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro import obs
 
 _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
@@ -26,6 +39,45 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs is None or jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+@dataclass(frozen=True)
+class _TracedTask:
+    """One parallel item plus the trace context it should record under."""
+
+    function: Callable[[Any], Any]
+    item: Any
+    index: int
+    context: obs.TraceContext
+
+
+@dataclass(frozen=True)
+class _TracedOutcome:
+    """A worker's result plus the telemetry it produced while computing it."""
+
+    result: Any
+    spans: list
+    metrics: dict
+
+
+def _run_traced(task: _TracedTask) -> _TracedOutcome:
+    """Execute one item in a worker under a fresh, linked telemetry.
+
+    Runs in the worker process: the spans recorded here carry the worker's
+    pid/tid, and the root ``engine.worker`` span is parented on the parent
+    process's fan-out span so the subtree stitches into one trace.
+    """
+    telemetry = obs.Telemetry()
+    with obs.use(telemetry):
+        with telemetry.recorder.root_span(
+            "engine.worker", context=task.context, item=task.index
+        ):
+            result = task.function(task.item)
+    return _TracedOutcome(
+        result=result,
+        spans=telemetry.recorder.drain(),
+        metrics=telemetry.metrics.snapshot(),
+    )
 
 
 def map_ordered(
@@ -42,10 +94,37 @@ def map_ordered(
     """
     materialised: Sequence[_Item] = list(items)
     effective = resolve_jobs(jobs)
+    telemetry = obs.current()
     if effective <= 1 or len(materialised) <= 1:
-        return [function(item) for item in materialised]
+        if not telemetry.enabled:
+            return [function(item) for item in materialised]
+        results: list[_Result] = []
+        with obs.span("engine.map_ordered", jobs=1, items=len(materialised)):
+            for index, item in enumerate(materialised):
+                with obs.span("engine.item", item=index):
+                    results.append(function(item))
+        return results
     workers = min(effective, len(materialised))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # Executor.map preserves submission order regardless of completion
-        # order, which is the whole determinism story.
-        return list(pool.map(function, materialised))
+    if not telemetry.enabled:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves submission order regardless of
+            # completion order, which is the whole determinism story.
+            return list(pool.map(function, materialised))
+    with obs.span(
+        "engine.map_ordered", jobs=workers, items=len(materialised)
+    ) as fan_span:
+        context = telemetry.recorder.export_context()
+        tasks = [
+            _TracedTask(function=function, item=item, index=index, context=context)
+            for index, item in enumerate(materialised)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_traced, tasks))
+    results = []
+    for outcome in outcomes:
+        results.append(outcome.result)
+        # Worker roots carry parent_id from the exported context already;
+        # adopt() re-parents only spans that lost their root (none here).
+        telemetry.recorder.adopt(outcome.spans, parent_id=fan_span.span_id)
+        telemetry.metrics.merge(outcome.metrics)
+    return results

@@ -1,0 +1,155 @@
+"""``repro.obs`` — the zero-dependency telemetry subsystem.
+
+Three pieces (see :doc:`the README's Observability section <README>`):
+
+* **spans** (:mod:`repro.obs.spans`) — hierarchical timed regions threaded
+  through the pass pipeline, the disk cache, the execution engine (with
+  cross-process propagation), the tuner and the bench runner;
+* **metrics** (:mod:`repro.obs.metrics`) — a registry of counters, gauges
+  and fixed-bucket histograms with atomic snapshot/merge;
+* **exporters** (:mod:`repro.obs.export`, :mod:`repro.obs.profile`) —
+  Chrome trace-event JSON (open in Perfetto or chrome://tracing), a JSON
+  metrics dump and the inclusive/exclusive profile table behind
+  ``hexcc profile``.
+
+The two halves are bundled into a :class:`Telemetry` object.  Exactly one
+telemetry is **ambient** at any point (a :mod:`contextvars` variable, so
+activations nest correctly); the default is :data:`NULL_TELEMETRY`, whose
+recorder and registry are no-ops — instrumented code never checks a flag,
+it just calls :func:`span`/:func:`count` and the disabled path costs a few
+hundred nanoseconds (bounded by the ``python -m repro.obs.overhead`` gate).
+
+Usage::
+
+    from repro import obs
+
+    telemetry = obs.Telemetry()
+    with obs.use(telemetry):
+        with obs.span("my.work", items=3):
+            ...  # sessions, caches and engine fan-outs record here
+
+    spans = telemetry.recorder.drain()
+    obs.export.write_trace("trace.json", spans, telemetry.metrics.snapshot())
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import Any, Iterator
+
+from repro.obs import export, profile
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS_MS,
+    MetricsRegistry,
+    NullMetrics,
+    metric_key,
+)
+from repro.obs.spans import (
+    NullRecorder,
+    Span,
+    SpanHandle,
+    TraceContext,
+    TraceRecorder,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS_MS",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullMetrics",
+    "NullRecorder",
+    "Span",
+    "SpanHandle",
+    "Telemetry",
+    "TraceContext",
+    "TraceRecorder",
+    "count",
+    "current",
+    "export",
+    "gauge",
+    "metric_key",
+    "observe",
+    "profile",
+    "span",
+    "use",
+]
+
+
+class Telemetry:
+    """One recorder + one metrics registry, enabled or a matched no-op pair."""
+
+    __slots__ = ("recorder", "metrics")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        recorder: NullRecorder | None = None,
+        metrics: NullMetrics | None = None,
+    ) -> None:
+        if recorder is not None:
+            self.recorder = recorder
+        else:
+            self.recorder = TraceRecorder() if enabled else NullRecorder()
+        if metrics is not None:
+            self.metrics = metrics
+        else:
+            self.metrics = MetricsRegistry() if enabled else NullMetrics()
+
+    @property
+    def enabled(self) -> bool:
+        return self.recorder.enabled
+
+    def span(self, name: str, **attributes: Any) -> SpanHandle:
+        return self.recorder.span(name, **attributes)
+
+    def __repr__(self) -> str:
+        return f"Telemetry(enabled={self.enabled})"
+
+
+#: The ambient default: fully disabled, shared, stateless.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+_ACTIVE: contextvars.ContextVar[Telemetry] = contextvars.ContextVar(
+    "hexcc-telemetry", default=NULL_TELEMETRY
+)
+
+
+def current() -> Telemetry:
+    """The ambient telemetry (the shared no-op unless :func:`use` is active)."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def use(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Make ``telemetry`` ambient for the duration of the block (re-entrant)."""
+    token = _ACTIVE.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE.reset(token)
+
+
+def span(name: str, **attributes: Any) -> SpanHandle:
+    """Open a span on the ambient recorder (a no-op handle when disabled)."""
+    return _ACTIVE.get().recorder.span(name, **attributes)
+
+
+def count(name: str, value: float = 1.0, **labels: Any) -> None:
+    """Increment a counter on the ambient registry."""
+    _ACTIVE.get().metrics.count(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels: Any) -> None:
+    """Set a gauge on the ambient registry."""
+    _ACTIVE.get().metrics.gauge(name, value, **labels)
+
+
+def observe(
+    name: str,
+    value: float,
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS_MS,
+    **labels: Any,
+) -> None:
+    """Record a histogram sample on the ambient registry."""
+    _ACTIVE.get().metrics.observe(name, value, buckets, **labels)

@@ -1,0 +1,197 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Metrics are identified by a name plus optional labels, flattened into a
+stable key (``cache.hit{stage=tiling}``) so snapshots are plain JSON-safe
+dictionaries.  A :class:`MetricsRegistry` supports
+
+* **atomic snapshots** — :meth:`MetricsRegistry.snapshot` returns a
+  self-contained document under the registry lock;
+* **merging** — :meth:`MetricsRegistry.merge` folds a snapshot (typically
+  shipped back from an engine worker process) into this registry: counters
+  add, gauges take the incoming value, histograms add bucket-wise when the
+  bucket boundaries agree.
+
+The disabled counterpart, :class:`NullMetrics`, makes every operation a
+no-op so always-on instrumentation stays effectively free.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+#: Default histogram bucket upper bounds, in milliseconds; the implicit
+#: final bucket is +inf.  Chosen around the compiler's observed range
+#: (sub-ms warm compiles to tens-of-ms cold ones, seconds for sweeps).
+DEFAULT_BUCKETS_MS: tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0, 5000.0,
+)
+
+
+def metric_key(name: str, labels: Mapping[str, Any]) -> str:
+    """Flatten a metric name + labels into a stable string key.
+
+    Labels with ``None`` values are dropped (an absent label, not a label
+    with the literal value ``None``).
+    """
+    parts = [
+        f"{key}={value}"
+        for key, value in sorted(labels.items())
+        if value is not None
+    ]
+    if not parts:
+        return name
+    return f"{name}{{{','.join(parts)}}}"
+
+
+class _Histogram:
+    __slots__ = ("buckets", "counts", "total", "count", "min", "max")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last bucket = +inf
+        self.total = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge(self, other: Mapping[str, Any]) -> None:
+        if tuple(other.get("buckets", ())) != self.buckets:
+            return  # incompatible boundaries: drop rather than corrupt
+        for i, count in enumerate(other.get("counts", ())):
+            if i < len(self.counts):
+                self.counts[i] += int(count)
+        self.total += float(other.get("sum", 0.0))
+        self.count += int(other.get("count", 0))
+        if other.get("min") is not None:
+            self.min = min(self.min, float(other["min"]))
+        if other.get("max") is not None:
+            self.max = max(self.max, float(other["max"]))
+
+
+class NullMetrics:
+    """The disabled registry: every operation is a no-op."""
+
+    enabled = False
+
+    def count(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS_MS,
+        **labels: Any,
+    ) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+class MetricsRegistry(NullMetrics):
+    """A thread-safe registry of counters, gauges and histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    def count(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Add ``value`` (default 1) to a monotonically increasing counter."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + float(value)
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a point-in-time value (last write wins, also across merges)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS_MS,
+        **labels: Any,
+    ) -> None:
+        """Record one sample into a fixed-bucket histogram."""
+        key = metric_key(name, labels)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = _Histogram(tuple(buckets))
+            histogram.observe(float(value))
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe, self-contained copy of every metric (atomic)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    key: histogram.to_dict()
+                    for key, histogram in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry."""
+        if not snapshot:
+            return
+        with self._lock:
+            for key, value in snapshot.get("counters", {}).items():
+                self._counters[key] = self._counters.get(key, 0.0) + float(value)
+            for key, value in snapshot.get("gauges", {}).items():
+                self._gauges[key] = float(value)
+            for key, payload in snapshot.get("histograms", {}).items():
+                if not isinstance(payload, Mapping):
+                    continue
+                histogram = self._histograms.get(key)
+                if histogram is None:
+                    histogram = self._histograms[key] = _Histogram(
+                        tuple(payload.get("buckets", DEFAULT_BUCKETS_MS))
+                    )
+                histogram.merge(payload)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

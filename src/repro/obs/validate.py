@@ -1,0 +1,109 @@
+"""Chrome trace-event schema validation (the CI trace-smoke gate).
+
+Checks the structural invariants downstream viewers rely on: a
+``traceEvents`` list whose events all carry ``name``/``ph``/``pid``/``tid``,
+complete-duration events (``"X"``) with numeric ``ts``/``dur``, unique span
+ids, and parent references that resolve within the trace.
+
+Usable as a library (:func:`validate_chrome_trace`) and as a CLI::
+
+    python -m repro.obs.validate trace.json
+
+Exit codes: 0 valid, 1 invalid, 2 unreadable/not JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Mapping
+
+
+def validate_chrome_trace(document: Mapping[str, Any]) -> list[str]:
+    """Return every schema problem found (empty list = valid)."""
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no traceEvents list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    span_ids: set[str] = set()
+    parent_refs: list[tuple[int, str]] = []
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, Mapping):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                problems.append(f"{where}: missing {field!r}")
+        phase = event.get("ph")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: name is not a string")
+        for field in ("pid", "tid"):
+            if field in event and not isinstance(event[field], int):
+                problems.append(f"{where}: {field} is not an integer")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)):
+                    problems.append(f"{where}: {field} is not a number")
+                elif field == "dur" and value < 0:
+                    problems.append(f"{where}: negative dur")
+            args = event.get("args")
+            if not isinstance(args, Mapping):
+                problems.append(f"{where}: X event has no args object")
+                continue
+            span_id = args.get("span_id")
+            if not isinstance(span_id, str) or not span_id:
+                problems.append(f"{where}: args.span_id missing or empty")
+            elif span_id in span_ids:
+                problems.append(f"{where}: duplicate span_id {span_id!r}")
+            else:
+                span_ids.add(span_id)
+            parent = args.get("parent_id")
+            if parent is not None:
+                if not isinstance(parent, str):
+                    problems.append(f"{where}: args.parent_id is not a string")
+                else:
+                    parent_refs.append((index, parent))
+        elif phase == "M":
+            if not isinstance(event.get("args"), Mapping):
+                problems.append(f"{where}: metadata event has no args object")
+    for index, parent in parent_refs:
+        if parent not in span_ids:
+            problems.append(
+                f"traceEvents[{index}]: parent_id {parent!r} does not resolve"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate a Chrome trace-event JSON file (hexcc trace output).",
+    )
+    parser.add_argument("trace", help="path to a trace.json")
+    args = parser.parse_args(argv)
+    try:
+        document = json.loads(Path(args.trace).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {args.trace}: {error}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(document)
+    if problems:
+        for problem in problems:
+            print(f"INVALID {problem}", file=sys.stderr)
+        print(f"{args.trace}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    events = document["traceEvents"]
+    spans = sum(1 for event in events if event.get("ph") == "X")
+    pids = {event.get("pid") for event in events}
+    print(f"{args.trace}: valid ({spans} spans across {len(pids)} process(es))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

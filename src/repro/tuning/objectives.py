@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Mapping
 
+from repro import obs
 from repro.tuning.space import Candidate
 
 #: Small-instance shapes used by the ``simulate`` objective, by dimension —
@@ -278,12 +279,16 @@ def evaluate_candidate(job: EvaluationJob) -> TuningTrial:
         raise ValueError(
             f"unknown tuning objective {job.objective!r}; known: {list_objectives()}"
         ) from None
-    try:
-        return TuningTrial(candidate=job.candidate, score=float(scorer(job)))
-    except Exception as error:  # noqa: BLE001 — any pipeline failure is data
-        return TuningTrial(
-            candidate=job.candidate,
-            score=float("inf"),
-            ok=False,
-            error=f"{type(error).__name__}: {error}",
-        )
+    with obs.span(
+        "tune.trial", candidate=job.candidate.label(), objective=job.objective
+    ) as span:
+        try:
+            return TuningTrial(candidate=job.candidate, score=float(scorer(job)))
+        except Exception as error:  # noqa: BLE001 — any pipeline failure is data
+            span.set(failed=True)
+            return TuningTrial(
+                candidate=job.candidate,
+                score=float("inf"),
+                ok=False,
+                error=f"{type(error).__name__}: {error}",
+            )

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from repro import obs
 from repro.api.config import OptimizationConfig
 from repro.api.session import Session, program_digest
 from repro.cache import DiskCache
@@ -245,6 +246,10 @@ def tune(
                     trials[index] = cached
                     continue
             missing.append((index, candidate))
+        obs.count("tune.trials", float(len(batch)), objective=objective)
+        obs.count(
+            "tune.trials_cached", float(len(batch) - len(missing)), objective=objective
+        )
         fresh = map_ordered(
             evaluate_candidate,
             [
@@ -277,8 +282,18 @@ def tune(
     start = space.closest(model_sizes)
     baseline = evaluate([Candidate(sizes=model_sizes)])[0]
 
-    trials = search.search(space, evaluate, budget, seed, start=start)
+    with obs.span(
+        "tune.search",
+        program=program.name,
+        strategy=strategy,
+        objective=objective,
+        budget=budget,
+    ):
+        trials = search.search(space, evaluate, budget, seed, start=start)
     succeeded = [trial for trial in trials if trial.ok]
+    obs.count(
+        "tune.failures", float(len(trials) - len(succeeded)), objective=objective
+    )
     best = min(
         succeeded + [baseline],
         key=lambda trial: (trial.score, trial.candidate.label()),

@@ -101,6 +101,82 @@ def test_observers_see_every_event(program):
     assert [event.name for event in seen] == ["parse", "canonicalize", "tiling"]
 
 
+def test_raising_observer_does_not_abort_the_compile(program):
+    """Observer dispatch is exception-safe: counted, warned once, ignored."""
+    import warnings
+
+    from repro import obs
+
+    def explode(event):
+        raise RuntimeError("observer bug")
+
+    seen = []
+    telemetry = obs.Telemetry()
+    session = Session(observers=[explode, seen.append], telemetry=telemetry)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        run = session.run(program, tile_sizes=SIZES, stop_after="tiling")
+    # The compile completed and well-behaved observers still saw every event.
+    assert run.stages_run == ("parse", "canonicalize", "tiling")
+    assert [event.name for event in seen] == ["parse", "canonicalize", "tiling"]
+    # Every failure is counted; the warning fires once per session.
+    counters = telemetry.metrics.snapshot()["counters"]
+    assert counters["session.observer_errors"] == 3.0
+    observer_warnings = [
+        w for w in caught if "pass-event observer" in str(w.message)
+    ]
+    assert len(observer_warnings) == 1
+    assert issubclass(observer_warnings[0].category, RuntimeWarning)
+
+
+def test_session_telemetry_records_passes_cache_io_and_wall(program, tmp_path):
+    from repro import obs
+    from repro.cache import DiskCache
+
+    telemetry = obs.Telemetry()
+    session = Session(
+        disk_cache=DiskCache(tmp_path / "hexcc"), telemetry=telemetry
+    )
+    session.run(program, tile_sizes=SIZES, stop_after="tiling")
+    spans = telemetry.recorder.drain()
+    names = {span.name for span in spans}
+    assert {"session.run", "pass.parse", "pass.canonicalize", "pass.tiling"} <= names
+    assert "cache.put" in names and "cache.serialize" in names
+    # Cache spans hang off the pass that triggered the I/O.
+    by_id = {span.span_id: span for span in spans}
+    for span in spans:
+        if span.name == "cache.put":
+            assert by_id[span.parent_id].name.startswith("pass.")
+    snapshot = telemetry.metrics.snapshot()
+    assert snapshot["counters"]["cache.store{stage=canonicalize}"] == 1.0
+    assert snapshot["histograms"]["compile.wall_ms{stop=tiling}"]["count"] == 1
+
+
+def test_pass_events_and_spans_share_one_timing_source(program):
+    """inspect/bench timings (PassEvent.wall_s) equal the span durations."""
+    from repro import obs
+
+    telemetry = obs.Telemetry()
+    run = Session(telemetry=telemetry).run(program, tile_sizes=SIZES)
+    durations = {
+        span.name: span.duration_s
+        for span in telemetry.recorder.drain()
+        if span.name.startswith("pass.")
+    }
+    for event in run.events:
+        assert durations[f"pass.{event.name}"] == event.wall_s
+
+
+def test_ambient_telemetry_is_used_when_none_is_passed(program):
+    from repro import obs
+
+    telemetry = obs.Telemetry()
+    with obs.use(telemetry):
+        Session().run(program, tile_sizes=SIZES, stop_after="canonicalize")
+    names = [span.name for span in telemetry.recorder.drain()]
+    assert "session.run" in names and "pass.canonicalize" in names
+
+
 def test_second_run_hits_the_in_memory_pass_cache(program):
     session = Session()
     first = session.run(program, tile_sizes=SIZES)

@@ -72,7 +72,7 @@ def _parameter_names(callable_) -> list[str]:
 def test_session_signatures_are_pinned():
     assert _parameter_names(api.Session.__init__) == [
         "self", "device", "strategy", "disk_cache", "cache_capacity", "observers",
-        "tuning_db",
+        "tuning_db", "telemetry",
     ]
     assert _parameter_names(api.Session.run) == [
         "self", "program", "tile_sizes", "config", "storage", "threads",

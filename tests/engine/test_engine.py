@@ -55,6 +55,7 @@ def _deterministic_view(report: dict) -> str:
         for entry in suite["stencils"].values():
             entry.pop("wall_s", None)
             entry.pop("stages", None)
+            entry.pop("timings", None)
     return json.dumps(clone, sort_keys=True)
 
 

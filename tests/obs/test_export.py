@@ -1,0 +1,113 @@
+"""Chrome trace export and the schema validator."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.export import (
+    TRACE_KIND,
+    TRACE_SCHEMA_VERSION,
+    chrome_trace,
+    metrics_document,
+    write_trace,
+)
+from repro.obs.spans import TraceRecorder
+from repro.obs.validate import validate_chrome_trace
+
+
+def _record_tree():
+    recorder = TraceRecorder()
+    with recorder.span("session.run", program="jacobi_2d"):
+        with recorder.span("pass.tiling"):
+            pass
+        with recorder.span("cache.put", stage="tiling", blob=b"x"):
+            pass
+    return recorder.drain()
+
+
+def test_chrome_trace_structure():
+    spans = _record_tree()
+    document = chrome_trace(spans)
+    assert document["displayTimeUnit"] == "ms"
+    assert document["otherData"] == {
+        "kind": TRACE_KIND,
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "spans": 3,
+        "processes": 1,
+    }
+    events = document["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert [e["args"]["name"] for e in metadata] == ["hexcc"]
+    assert {e["name"] for e in complete} == {
+        "session.run", "pass.tiling", "cache.put",
+    }
+    for event in complete:
+        assert event["pid"] == os.getpid()
+        assert isinstance(event["ts"], float)
+        assert event["dur"] >= 0
+        assert event["cat"] == event["name"].split(".", 1)[0]
+
+
+def test_non_scalar_attributes_are_stringified():
+    document = chrome_trace(_record_tree())
+    (put,) = [e for e in document["traceEvents"] if e["name"] == "cache.put"]
+    assert put["args"]["blob"] == "b'x'"
+    json.dumps(document)  # the whole document must be JSON-serialisable
+
+
+def test_write_trace_roundtrips_through_the_validator(tmp_path):
+    path = write_trace(
+        tmp_path / "trace.json", _record_tree(), {"counters": {"cache.store": 1.0}}
+    )
+    document = json.loads(path.read_text())
+    assert validate_chrome_trace(document) == []
+    assert document["metrics"] == {"counters": {"cache.store": 1.0}}
+
+
+def test_validator_rejects_structural_problems():
+    assert validate_chrome_trace({}) == ["document has no traceEvents list"]
+    problems = validate_chrome_trace(
+        {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 1.0,
+                 "args": {"span_id": "s1", "parent_id": None}},
+                {"name": "b", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 1.0,
+                 "args": {"span_id": "s1", "parent_id": "ghost"}},
+                {"name": "c", "ph": "X", "pid": "one", "tid": 1, "ts": "soon",
+                 "dur": -2.0, "args": {}},
+            ]
+        }
+    )
+    assert any("duplicate span_id 's1'" in p for p in problems)
+    assert any("parent_id 'ghost' does not resolve" in p for p in problems)
+    assert any("pid is not an integer" in p for p in problems)
+    assert any("ts is not a number" in p for p in problems)
+    assert any("negative dur" in p for p in problems)
+    assert any("span_id missing" in p for p in problems)
+
+
+def test_validator_accepts_multi_process_traces():
+    spans = _record_tree()
+    foreign = [
+        type(span)(
+            name=span.name, span_id=f"w-{i}", parent_id=None,
+            start_ns=span.start_ns, duration_ns=span.duration_ns,
+            pid=span.pid + 1, tid=span.tid, attributes={},
+        )
+        for i, span in enumerate(spans)
+    ]
+    document = chrome_trace(spans + foreign)
+    assert validate_chrome_trace(document) == []
+    names = {
+        e["args"]["name"] for e in document["traceEvents"] if e["ph"] == "M"
+    }
+    assert names == {"hexcc", f"hexcc worker {os.getpid() + 1}"}
+
+
+def test_metrics_document_envelope():
+    document = metrics_document({"counters": {"a": 1.0}})
+    assert document["kind"] == "hexcc-metrics"
+    assert document["schema_version"] == 1
+    assert document["metrics"] == {"counters": {"a": 1.0}}

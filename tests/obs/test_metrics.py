@@ -1,0 +1,113 @@
+"""The metrics registry: keys, counters, gauges, histograms, snapshot/merge."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS_MS,
+    MetricsRegistry,
+    NullMetrics,
+    metric_key,
+)
+
+
+def test_metric_key_flattens_sorted_labels():
+    assert metric_key("cache.hit", {}) == "cache.hit"
+    assert metric_key("cache.hit", {"stage": "tiling"}) == "cache.hit{stage=tiling}"
+    assert (
+        metric_key("x", {"b": 2, "a": 1}) == "x{a=1,b=2}"
+    )  # label order never matters
+
+
+def test_metric_key_drops_none_valued_labels():
+    assert metric_key("tune.trials", {"objective": None}) == "tune.trials"
+
+
+def test_counters_accumulate():
+    registry = MetricsRegistry()
+    registry.count("cache.hit", stage="tiling")
+    registry.count("cache.hit", stage="tiling")
+    registry.count("cache.hit", 3.0, stage="memory")
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {
+        "cache.hit{stage=tiling}": 2.0,
+        "cache.hit{stage=memory}": 3.0,
+    }
+
+
+def test_gauges_take_the_last_value():
+    registry = MetricsRegistry()
+    registry.gauge("engine.jobs", 4)
+    registry.gauge("engine.jobs", 2)
+    assert registry.snapshot()["gauges"] == {"engine.jobs": 2.0}
+
+
+def test_histograms_bucket_and_summarise():
+    registry = MetricsRegistry()
+    for value in (0.3, 1.5, 70.0, 10_000.0):
+        registry.observe("compile.wall_ms", value)
+    (histogram,) = registry.snapshot()["histograms"].values()
+    assert histogram["buckets"] == list(DEFAULT_BUCKETS_MS)
+    assert sum(histogram["counts"]) == 4
+    assert histogram["counts"][0] == 1  # 0.3 <= 0.5
+    assert histogram["counts"][-1] == 1  # 10_000 > every bound -> +inf bucket
+    assert histogram["count"] == 4
+    assert histogram["min"] == 0.3
+    assert histogram["max"] == 10_000.0
+    assert abs(histogram["sum"] - 10_071.8) < 1e-9
+
+
+def test_snapshot_is_json_safe_and_detached():
+    registry = MetricsRegistry()
+    registry.count("a")
+    registry.observe("b", 1.0)
+    snapshot = registry.snapshot()
+    json.dumps(snapshot)  # must not raise
+    registry.count("a")  # mutating the registry must not mutate the snapshot
+    assert snapshot["counters"]["a"] == 1.0
+
+
+def test_merge_folds_a_worker_snapshot():
+    parent, worker = MetricsRegistry(), MetricsRegistry()
+    parent.count("cache.hit", 2.0, stage="tiling")
+    worker.count("cache.hit", 3.0, stage="tiling")
+    worker.gauge("engine.jobs", 2)
+    worker.observe("compile.wall_ms", 5.0)
+    parent.observe("compile.wall_ms", 1.0)
+    parent.merge(worker.snapshot())
+    snapshot = parent.snapshot()
+    assert snapshot["counters"]["cache.hit{stage=tiling}"] == 5.0
+    assert snapshot["gauges"]["engine.jobs"] == 2.0
+    histogram = snapshot["histograms"]["compile.wall_ms"]
+    assert histogram["count"] == 2
+    assert histogram["sum"] == 6.0
+
+
+def test_merge_skips_incompatible_histogram_buckets():
+    registry = MetricsRegistry()
+    registry.observe("x", 1.0)
+    before = registry.snapshot()["histograms"]["x"]
+    registry.merge(
+        {"histograms": {"x": {"buckets": [1.0, 2.0], "counts": [1, 0, 0], "count": 1}}}
+    )
+    assert registry.snapshot()["histograms"]["x"] == before
+
+
+def test_clear_empties_everything():
+    registry = MetricsRegistry()
+    registry.count("a")
+    registry.gauge("b", 1)
+    registry.observe("c", 1.0)
+    registry.clear()
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_null_metrics_is_inert():
+    null = NullMetrics()
+    null.count("a")
+    null.gauge("b", 1)
+    null.observe("c", 1.0)
+    null.merge({"counters": {"a": 1.0}})
+    assert null.snapshot() == {}
+    assert null.enabled is False

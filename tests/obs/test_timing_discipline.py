@@ -1,0 +1,28 @@
+"""Repo-wide timing discipline: durations come from the monotonic clock.
+
+``time.time()`` is subject to NTP slews and clock jumps, so durations must
+be measured with ``time.perf_counter()``/``perf_counter_ns()`` (wall-clock
+reads for *timestamps* — ``time.time_ns`` pinned against the monotonic
+epoch, ``datetime.now`` in report headers — are fine and are not matched
+here).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_no_time_time_in_the_library():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for number, line in enumerate(path.read_text().splitlines(), start=1):
+            if re.search(r"\btime\.time\(", line):
+                offenders.append(f"{path.relative_to(SRC)}:{number}: {line.strip()}")
+    assert not offenders, (
+        "time.time() must not be used for durations; use time.perf_counter() "
+        "(timestamps: time.time_ns anchored to the monotonic epoch):\n"
+        + "\n".join(offenders)
+    )

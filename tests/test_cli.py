@@ -377,3 +377,101 @@ def test_explicit_widths_suppress_tuned_announcement(capsys):
     output = capsys.readouterr().out
     assert "applying tuned configuration" not in output
     assert "h=2, w=(7, 10, 32)" in output
+
+
+# -- observability: hexcc trace / profile / bench --trace -----------------------------
+
+
+def test_trace_command_writes_a_valid_chrome_trace(tmp_path, capsys):
+    from repro.obs.validate import validate_chrome_trace
+
+    out = tmp_path / "trace.json"
+    assert main(["trace", "jacobi_2d", "-o", str(out), "--jobs", "2"]) == 0
+    assert "wrote" in capsys.readouterr().out
+    document = json.loads(out.read_text())
+    assert validate_chrome_trace(document) == []
+
+    events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    names = {e["name"] for e in events}
+    # All six pipeline passes, cache I/O and the engine fan-out are traced.
+    assert {f"pass.{stage}" for stage in (
+        "parse", "canonicalize", "tiling", "memory", "codegen", "analysis",
+    )} <= names
+    assert {"session.run", "cache.put", "engine.map_ordered", "engine.worker"} <= names
+    # --jobs 2 really fanned across distinct worker processes.
+    worker_pids = {e["pid"] for e in events if e["name"] == "engine.worker"}
+    assert len(worker_pids) == 2
+    assert document["metrics"]["counters"]  # the snapshot rode along
+
+
+def test_trace_command_serial_without_cache(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "heat3d", "-o", str(out), "--jobs", "1",
+                 "--no-cache"]) == 0
+    document = json.loads(out.read_text())
+    names = {e["name"] for e in document["traceEvents"]}
+    assert "cache.put" not in names  # --no-cache: no disk-cache I/O
+    assert "engine.item" in names  # serial fan-out still traced
+
+
+def test_profile_command_table(capsys):
+    assert main(["profile", "jacobi_2d"]) == 0
+    output = capsys.readouterr().out
+    assert "profile of jacobi_2d" in output
+    assert "pass.tiling" in output
+    assert output.strip().splitlines()[-1].startswith("total")
+
+
+def test_profile_command_json_exclusive_sums_to_total(capsys):
+    assert main(["profile", "jacobi_2d", "--json", "--no-cache"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stencil"] == "jacobi_2d"
+    total = payload["total_wall_s"]
+    accounted = sum(row["exclusive_s"] for row in payload["rows"])
+    # The exclusive-time ranking accounts for the total wall time (5% slack
+    # for clamped concurrent subtrees; exact for this serial trace).
+    assert total > 0
+    assert abs(accounted - total) <= 0.05 * total
+    names = {row["name"] for row in payload["rows"]}
+    assert "pass.tiling" in names
+    assert "compile.wall_ms{stop=analysis}" in payload["metrics"]["histograms"]
+
+
+def test_bench_trace_flag_writes_a_trace(tmp_path, capsys):
+    from repro.obs.validate import validate_chrome_trace
+
+    out = tmp_path / "bench_trace.json"
+    code = main(["bench", "--suite", "compile", "--stencils", "jacobi_1d",
+                 "--repeats", "1", "--json", str(tmp_path / "bench.json"),
+                 "--trace", str(out)])
+    assert code == 0
+    document = json.loads(out.read_text())
+    assert validate_chrome_trace(document) == []
+    names = {e["name"] for e in document["traceEvents"]}
+    assert {"bench.run", "bench.measure"} <= names
+
+
+def test_bench_json_report_contains_per_stage_timings(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    code = main(["bench", "--suite", "compile", "--stencils", "jacobi_1d",
+                 "--repeats", "1", "--json", str(path)])
+    assert code == 0
+    report = json.loads(path.read_text())
+    timings = report["suites"]["compile"]["stencils"]["jacobi_1d"]["timings"]
+    for stage in ("parse", "canonicalize", "tiling", "memory", "codegen"):
+        entry = timings[f"pass.{stage}"]
+        assert entry["median"] >= 0.0
+
+
+def test_inspect_json_contains_span_derived_timings(capsys):
+    assert main(["inspect", "jacobi_2d", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    timings = payload["timings"]
+    assert set(timings) == {
+        f"pass.{stage}" for stage in (
+            "parse", "canonicalize", "tiling", "memory", "codegen", "analysis",
+        )
+    }
+    # Same timing source: the timings block mirrors the pass events exactly.
+    for entry in payload["passes"]:
+        assert timings[f"pass.{entry['name']}"]["wall_ms"] == entry["wall_s"] * 1e3
