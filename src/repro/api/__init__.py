@@ -10,7 +10,8 @@ and downstream users) program against it instead of reaching into
   instrumentation;
 * the artifact types (:class:`ParsedProgram` → :class:`CanonicalIR` →
   :class:`TilingPlan` → :class:`MemoryPlan` → :class:`GeneratedCode` →
-  :class:`AnalysisBundle`) and the :data:`STAGES` ordering;
+  :class:`AnalysisBundle` → :class:`VerificationReport`) and the
+  :data:`STAGES` ordering;
 * the strategy registry (:func:`register_strategy`, :func:`get_strategy`,
   :func:`list_strategies`) selecting ``hybrid`` / ``classical`` / ``diamond``
   tilings by name;
@@ -43,6 +44,7 @@ _EXPORTS = {
     "MemoryPlan": "repro.api.artifacts",
     "GeneratedCode": "repro.api.artifacts",
     "AnalysisBundle": "repro.api.artifacts",
+    "VerificationReport": "repro.api.artifacts",
     # strategy registry
     "TilingStrategy": "repro.api.strategies",
     "register_strategy": "repro.api.strategies",

@@ -12,6 +12,7 @@ stage                 artifact                wraps
 ``memory``            :class:`MemoryPlan`     :class:`SharedMemoryPlan`
 ``codegen``           :class:`GeneratedCode`  CUDA source + core profiles
 ``analysis``          :class:`AnalysisBundle` counters + roofline report
+``verify``            :class:`VerificationReport` race + lint verdicts
 ====================  ======================  ==============================
 
 Every artifact is a frozen dataclass, carries a ``SCHEMA_VERSION`` class
@@ -24,7 +25,8 @@ instrumentation events.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Mapping
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # heavyweight types only needed for annotations
     from repro.codegen.analysis import ExecutionEstimate
@@ -35,6 +37,7 @@ if TYPE_CHECKING:  # heavyweight types only needed for annotations
     from repro.model.program import StencilProgram
     from repro.tiling.hybrid import TileSizes
     from repro.tiling.tile_size import TileCostEstimate
+    from repro.verify.report import LintReport, ScheduleVerdict
 
 #: Pipeline stage names, in execution order.
 STAGES: tuple[str, ...] = (
@@ -44,6 +47,7 @@ STAGES: tuple[str, ...] = (
     "memory",
     "codegen",
     "analysis",
+    "verify",
 )
 
 
@@ -214,6 +218,51 @@ class AnalysisBundle:
         )
 
 
+@dataclass(frozen=True)
+class VerificationReport:
+    """Static verification verdicts: symbolic races + generated-CUDA lint.
+
+    ``schedule`` is the symbolic race detector's verdict over all problem
+    sizes (:mod:`repro.verify.symbolic`); ``lint`` the static linter's
+    findings over the generated CUDA (:mod:`repro.verify.lint`), ``None``
+    for analysis-only strategies that generate no code.
+    """
+
+    SCHEMA_VERSION = 1
+
+    strategy: str
+    schedule: "ScheduleVerdict"
+    lint: "LintReport | None" = None
+
+    @property
+    def ok(self) -> bool:
+        """No races, full phase coverage, no error-severity lint findings."""
+        return self.schedule.ok and (self.lint is None or self.lint.ok)
+
+    def summary(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "strategy": self.strategy,
+            "ok": self.ok,
+            "schedule_ok": self.schedule.ok,
+            "races": len(self.schedule.races),
+            "coverage_ok": self.schedule.coverage_ok,
+            "dependences_checked": self.schedule.dependences_checked,
+            "classes_checked": self.schedule.classes_checked,
+        }
+        if self.schedule.races:
+            data["race_messages"] = [
+                race.message for race in self.schedule.races[:5]
+            ]
+        if self.lint is not None:
+            data["lint_errors"] = len(self.lint.errors)
+            data["lint_warnings"] = len(self.lint.warnings)
+            if self.lint.findings:
+                data["lint_messages"] = [
+                    str(finding) for finding in self.lint.findings[:5]
+                ]
+        return _json_safe(data)
+
+
 #: Artifact class produced by each stage, in pipeline order.
 STAGE_ARTIFACTS: dict[str, type] = {
     "parse": ParsedProgram,
@@ -222,4 +271,5 @@ STAGE_ARTIFACTS: dict[str, type] = {
     "memory": MemoryPlan,
     "codegen": GeneratedCode,
     "analysis": AnalysisBundle,
+    "verify": VerificationReport,
 }

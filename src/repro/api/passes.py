@@ -14,7 +14,8 @@ configurations.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.api.artifacts import (
     AnalysisBundle,
@@ -23,6 +24,7 @@ from repro.api.artifacts import (
     MemoryPlan,
     ParsedProgram,
     TilingPlan,
+    VerificationReport,
 )
 from repro.api.errors import PipelineError
 from repro.api.strategies import get_strategy
@@ -222,6 +224,47 @@ class AnalysisPass(Pass):
         )
 
 
+class VerifyPass(Pass):
+    """Static verification: symbolic race detection + generated-CUDA lint.
+
+    Optional tail stage (the default ``stop_after`` of :meth:`Session.run`
+    is still ``codegen``): proves the schedule orders every dependence for
+    *all* problem sizes and lints the emitted CUDA.  Everything the verdict
+    depends on — program, tiling, config, threads, device — already flows
+    in through the chained parent key, so no extra parts are needed.
+    """
+
+    name = "verify"
+    produces = VerificationReport
+
+    def key(self, request, artifacts, parent, program_digest):
+        return self._stage_key(request, [], parent)
+
+    def run(self, request: Any, artifacts: Mapping[str, Any]) -> VerificationReport:
+        from repro import obs
+        from repro.verify.lint import lint_cuda
+        from repro.verify.symbolic import verify_tiling_plan
+
+        canonical: CanonicalIR = artifacts["canonicalize"]
+        plan: TilingPlan = artifacts["tiling"]
+        with obs.span("verify.symbolic", strategy=plan.strategy):
+            verdict = verify_tiling_plan(canonical.canonical, plan)
+        obs.count("verify.races", len(verdict.races), strategy=plan.strategy)
+
+        lint = None
+        code: GeneratedCode | None = artifacts.get("codegen")
+        if code is not None:
+            memory: MemoryPlan | None = artifacts.get("memory")
+            with obs.span("verify.lint", kernel_lines=code.cuda_source.count("\n")):
+                lint = lint_cuda(
+                    code.cuda_source,
+                    plan=memory.plan if memory is not None else None,
+                    device=request.device,
+                )
+            obs.count("verify.lint.findings", len(lint.findings))
+        return VerificationReport(strategy=plan.strategy, schedule=verdict, lint=lint)
+
+
 #: The pipeline, in execution order.
 PIPELINE_PASSES: tuple[Pass, ...] = (
     ParsePass(),
@@ -230,4 +273,5 @@ PIPELINE_PASSES: tuple[Pass, ...] = (
     MemoryPass(),
     CodegenPass(),
     AnalysisPass(),
+    VerifyPass(),
 )

@@ -30,7 +30,8 @@ import hashlib
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
 
 from repro import obs
 from repro.api.artifacts import STAGE_ARTIFACTS, STAGES

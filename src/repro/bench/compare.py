@@ -22,7 +22,8 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.bench.schema import SchemaError, load_report
 

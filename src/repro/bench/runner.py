@@ -26,7 +26,8 @@ from __future__ import annotations
 import time
 from dataclasses import asdict, dataclass
 from functools import partial
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro import obs
 from repro.bench.schema import make_report, timing_entry

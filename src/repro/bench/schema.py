@@ -39,7 +39,8 @@ import platform
 from datetime import datetime, timezone
 from pathlib import Path
 from statistics import median
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 SCHEMA_VERSION = 1
 REPORT_KIND = "hexcc-bench"

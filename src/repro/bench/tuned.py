@@ -8,7 +8,8 @@ database, deterministic and instant.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 from repro.tuning.db import TuningDatabase
 

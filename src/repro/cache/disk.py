@@ -18,6 +18,7 @@ Robustness rules:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pickle
@@ -191,21 +192,17 @@ class DiskCache:
                     handle.write(blob)
                 os.replace(temp_name, path)
             except BaseException:
-                try:
+                with contextlib.suppress(OSError):
                     os.unlink(temp_name)
-                except OSError:
-                    pass
                 raise
             self.stores += 1
             self._count_stage(stage, "stores")
             obs.count("cache.store", stage=stage)
 
     def _discard(self, path: Path) -> None:
-        try:
+        with contextlib.suppress(OSError):
             path.unlink()
             self.evicted += 1
-        except OSError:
-            pass
 
     # -- maintenance ------------------------------------------------------------
 
@@ -226,16 +223,12 @@ class DiskCache:
                     continue
                 for path in sorted(namespace.iterdir()):
                     if path.suffix == ".pkl":
-                        try:
+                        with contextlib.suppress(OSError):
                             path.unlink()
                             removed += 1
-                        except OSError:
-                            pass
         stats_path = self.root / "stats.json"
-        try:
+        with contextlib.suppress(OSError):
             stats_path.unlink()
-        except OSError:
-            pass
         return removed
 
     def stats(self) -> CacheStats:
@@ -322,10 +315,8 @@ class DiskCache:
                 json.dump(document, handle)
             os.replace(temp_name, self.root / "stats.json")
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(temp_name)
-            except OSError:
-                pass
             raise
         self.hits = self.misses = self.stores = self.evicted = 0
         self.stage_counters = {}

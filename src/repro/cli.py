@@ -11,6 +11,11 @@ Examples
     hexcc compile heat_3d --h 2 --widths 7,10,32 --show-cuda
     hexcc inspect heat_2d --stop-after tiling          # staged pipeline view
     hexcc inspect jacobi_2d --strategy diamond --stop-after tiling --json
+    hexcc verify jacobi_2d                 # symbolic races + CUDA lint
+    hexcc verify all --strategy all        # whole library, every schedule
+    hexcc verify heat_3d --json            # machine-readable verdict
+    hexcc verify jacobi_2d --mutate phase-swap   # fault injection (exits 1)
+    hexcc verify --list-mutations
     hexcc validate jacobi_2d --size 20 --steps 10
     hexcc compile-file examples/custom_stencil.c --show-cuda
     hexcc validate-file examples/custom_stencil.c --sizes 16,16 --steps 6
@@ -29,8 +34,10 @@ Examples
     hexcc bench --quick --trace bench_trace.json
 
 Exit codes are uniform across every subcommand: **0** on success, **1** on a
-compile/validation failure, **2** on a usage error (unknown stencil, table,
-strategy, stage or malformed option).
+compile/validation/verification failure (for ``hexcc verify``: any race,
+coverage gap or error-severity lint finding — warnings alone stay 0), **2**
+on a usage error (unknown stencil, table, strategy, stage, mutation or
+malformed option).
 
 Every compiling command shares a persistent on-disk artefact cache
 (``~/.cache/hexcc`` by default, override with ``$HEXCC_CACHE_DIR``, disable
@@ -251,6 +258,173 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
               f"stop after {run.stop_after}):")
         print(run.describe())
     return EXIT_OK
+
+
+def _verify_one(session: Session, program, strategy: str, tile_sizes, mutation):
+    """One (stencil, strategy) verification; returns a VerificationReport."""
+    from repro.api import VerificationReport
+    from repro.verify import verify_hybrid, verify_tiling_plan
+    from repro.verify.symbolic import HybridScheduleModel
+
+    if strategy == "hybrid" and mutation is None:
+        # Full pipeline: symbolic schedule check plus the generated-CUDA lint.
+        run = session.run(program, tile_sizes=tile_sizes, stop_after="verify")
+        return run.artifact("verify")
+    # Analysis-only schedules (and mutated models) never reach codegen, so
+    # verify the tiling plan directly — schedule verdict only, no lint.
+    run = session.run(program, tile_sizes=tile_sizes, stop_after="tiling")
+    canonical = run.artifact("canonicalize").canonical
+    plan = run.artifact("tiling")
+    if mutation is not None:
+        try:
+            model = mutation.apply(HybridScheduleModel.from_tiling(plan.tiling))
+        except ValueError as error:
+            raise UsageError(str(error)) from None
+        verdict = verify_hybrid(canonical, model)
+    else:
+        verdict = verify_tiling_plan(canonical, plan)
+    return VerificationReport(strategy=strategy, schedule=verdict)
+
+
+def _describe_verification(report) -> str:
+    """One-line verdict plus indented findings for the text output."""
+    schedule = report.schedule
+    parts = [
+        f"{len(schedule.races)} race(s)" if schedule.races else "no races",
+        "coverage ok" if schedule.coverage_ok else "coverage BROKEN",
+        f"{schedule.dependences_checked} dependence(s)",
+        f"{schedule.classes_checked} classes",
+    ]
+    if report.lint is not None:
+        parts.append(
+            f"lint {len(report.lint.errors)} error(s) / "
+            f"{len(report.lint.warnings)} warning(s)"
+        )
+    lines = [("OK   " if report.ok else "FAIL ") + ", ".join(parts)]
+    for race in schedule.races:
+        lines.append(f"  race [{race.level}] {race.dependence}: {race.message}")
+        if race.source is not None:
+            lines.append(f"    source {race.source}")
+        if race.sink is not None:
+            lines.append(f"    sink   {race.sink}")
+    if report.lint is not None:
+        for finding in report.lint.findings:
+            lines.append(f"  {finding}")
+    return "\n".join(lines)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Statically verify schedules (symbolic races) and generated CUDA (lint)."""
+    from repro.api import StrategyError
+    from repro.verify import get_mutation, mutation_corpus
+
+    if args.list_mutations:
+        for mutation in mutation_corpus():
+            print(f"{mutation.name:22s} [{mutation.category}] {mutation.description}")
+        return EXIT_OK
+    if args.stencil is None:
+        raise UsageError("a stencil name (or 'all') is required")
+
+    known = list_strategies()
+    strategies = tuple(known) if args.strategy == "all" else (args.strategy,)
+    for strategy in strategies:
+        if strategy not in known:
+            raise UsageError(
+                f"unknown tiling strategy {strategy!r}; known: {', '.join(known)}"
+            )
+
+    mutation = None
+    if args.mutate is not None:
+        if strategies != ("hybrid",):
+            raise UsageError("--mutate applies to the hybrid strategy only")
+        try:
+            mutation = get_mutation(args.mutate)
+        except KeyError as error:
+            raise UsageError(error.args[0]) from None
+
+    if args.stencil == "all":
+        programs = [_get_stencil_checked(name) for name in list_stencils()]
+    else:
+        programs = [_get_stencil_checked(args.stencil)]
+
+    device = _get_device_checked(args.device)
+    tile_sizes = _parse_tile_sizes(args)
+    cache = _disk_cache(args)
+    multi = len(programs) * len(strategies) > 1
+    results: list[dict] = []
+    failures = 0
+    for strategy in strategies:
+        session = Session(device=device, strategy=strategy, disk_cache=cache)
+        for program in programs:
+            try:
+                report = _verify_one(session, program, strategy, tile_sizes, mutation)
+            except StrategyError as error:
+                if not multi:
+                    raise
+                # Strategies that cannot express this stencil (e.g. diamond on
+                # higher-order time) are skipped, not failed, in sweeps.
+                results.append(
+                    {
+                        "stencil": program.name,
+                        "strategy": strategy,
+                        "skipped": str(error),
+                    }
+                )
+                continue
+            failures += 0 if report.ok else 1
+            results.append(
+                {
+                    "stencil": program.name,
+                    "strategy": strategy,
+                    "report": report,
+                }
+            )
+    _flush_cache(cache)
+
+    if args.json:
+        payload = {
+            "device": device.name,
+            "mutation": args.mutate,
+            "ok": failures == 0,
+            "results": [
+                {
+                    "stencil": row["stencil"],
+                    "strategy": row["strategy"],
+                    **(
+                        {"skipped": row["skipped"]}
+                        if "skipped" in row
+                        else {
+                            "summary": row["report"].summary(),
+                            "schedule": row["report"].schedule.summary(),
+                            "lint": row["report"].lint.summary()
+                            if row["report"].lint is not None
+                            else None,
+                        }
+                    ),
+                }
+                for row in results
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        width = max(len(row["stencil"]) for row in results)
+        for row in results:
+            prefix = f"{row['stencil']:<{width}}  {row['strategy']:<9}  "
+            if "skipped" in row:
+                print(f"{prefix}SKIP {row['skipped']}")
+            else:
+                text = _describe_verification(row["report"])
+                first, _, rest = text.partition("\n")
+                print(prefix + first)
+                if rest:
+                    print(rest)
+        checked = sum(1 for row in results if "report" in row)
+        skipped = len(results) - checked
+        tail = f"{checked} verified, {failures} failed"
+        if skipped:
+            tail += f", {skipped} skipped (strategy not applicable)"
+        print(tail)
+    return EXIT_FAILURE if failures else EXIT_OK
 
 
 def _sizes_arg(text: str) -> tuple[int, ...]:
@@ -614,8 +788,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect_parser.add_argument("stencil")
     inspect_parser.add_argument(
-        "--stop-after", choices=list(STAGES), default="analysis", metavar="STAGE",
-        help=f"last stage to run (one of: {', '.join(STAGES)}; default: analysis)",
+        "--stop-after", choices=list(STAGES), default="verify", metavar="STAGE",
+        help=f"last stage to run (one of: {', '.join(STAGES)}; default: verify)",
     )
     inspect_parser.add_argument(
         "--strategy", default="hybrid",
@@ -630,6 +804,38 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_parser.add_argument("--widths", default=None, help="comma separated w0,w1,...")
     _add_no_cache_argument(inspect_parser)
     inspect_parser.set_defaults(func=_cmd_inspect)
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="statically verify schedules (symbolic races) and generated CUDA",
+    )
+    verify_parser.add_argument(
+        "stencil", nargs="?", default=None,
+        help="stencil name, or 'all' for the whole library",
+    )
+    verify_parser.add_argument(
+        "--strategy", default="hybrid",
+        help="tiling strategy name or 'all' (default: hybrid)",
+    )
+    verify_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full verdicts (races, lint findings) as JSON",
+    )
+    verify_parser.add_argument(
+        "--mutate", default=None, metavar="NAME",
+        help="apply a named illegal schedule mutation first (fault injection; "
+             "the verifier must report a race, so the command exits 1)",
+    )
+    verify_parser.add_argument(
+        "--list-mutations", action="store_true",
+        help="list the fault-injection mutation corpus and exit",
+    )
+    verify_parser.add_argument("--device", default="gtx470")
+    verify_parser.add_argument("--h", type=int, default=2)
+    verify_parser.add_argument("--widths", default=None,
+                               help="comma separated w0,w1,...")
+    _add_no_cache_argument(verify_parser)
+    verify_parser.set_defaults(func=_cmd_verify)
 
     validate_parser = sub.add_parser(
         "validate", help="exhaustively validate and simulate a small instance"

@@ -26,7 +26,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
 
 from repro import obs
 
@@ -68,11 +69,10 @@ def _run_traced(task: _TracedTask) -> _TracedOutcome:
     process's fan-out span so the subtree stitches into one trace.
     """
     telemetry = obs.Telemetry()
-    with obs.use(telemetry):
-        with telemetry.recorder.root_span(
-            "engine.worker", context=task.context, item=task.index
-        ):
-            result = task.function(task.item)
+    with obs.use(telemetry), telemetry.recorder.root_span(
+        "engine.worker", context=task.context, item=task.index
+    ):
+        result = task.function(task.item)
     return _TracedOutcome(
         result=result,
         spans=telemetry.recorder.drain(),

@@ -28,7 +28,7 @@ Everything outside the supported fragment is rejected with a source-located
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.frontend.analyze import analyze_program, resolve_extents
 from repro.frontend.errors import (

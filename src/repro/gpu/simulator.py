@@ -30,7 +30,7 @@ the per-point **scalar** mode, which remains available as the reference path
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

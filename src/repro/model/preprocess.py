@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.model.dependences import (
     Dependence,

@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from repro.obs import export, profile
 from repro.obs.metrics import (

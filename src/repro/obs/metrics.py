@@ -18,7 +18,8 @@ no-op so always-on instrumentation stays effectively free.
 from __future__ import annotations
 
 import threading
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 #: Default histogram bucket upper bounds, in milliseconds; the implicit
 #: final bucket is +inf.  Chosen around the compiler's observed range

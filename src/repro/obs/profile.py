@@ -15,7 +15,7 @@ does not sum into the parent's timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.obs.spans import Span
 

@@ -33,7 +33,8 @@ import os
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 #: Process-global span sequence.  Ids are ``{pid:x}-{seq}``; the sequence
 #: must be shared by every recorder in the process because pool workers are

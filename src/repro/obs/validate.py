@@ -18,7 +18,8 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 
 def validate_chrome_trace(document: Mapping[str, Any]) -> list[str]:

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from fractions import Fraction
 from functools import lru_cache
-from typing import Iterable, Mapping, Union
+from collections.abc import Iterable, Mapping
 
-Rational = Union[int, Fraction]
+Rational = int | Fraction
 
 
 @lru_cache(maxsize=512)

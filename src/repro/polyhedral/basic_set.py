@@ -15,7 +15,7 @@ from __future__ import annotations
 import itertools
 import math
 from fractions import Fraction
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.polyhedral.affine import LinearExpr, Rational
 from repro.polyhedral.constraint import Constraint

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.polyhedral.affine import LinearExpr, Rational
 

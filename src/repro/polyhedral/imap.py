@@ -11,7 +11,7 @@ expressed with :mod:`repro.polyhedral.quasi_affine` expressions instead.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.polyhedral.affine import LinearExpr, Rational
 from repro.polyhedral.basic_set import BasicSet

@@ -8,7 +8,7 @@ the paper) naturally produces such unions.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro.polyhedral.basic_set import BasicSet
 from repro.polyhedral.constraint import Constraint

@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.polyhedral.affine import LinearExpr
 from repro.polyhedral.constraint import Constraint

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Mapping, Union
+from collections.abc import Mapping
 
-Number = Union[int, Fraction]
+Number = int | Fraction
 
 
 def _coerce(value: "QExpr | int") -> "QExpr":

@@ -9,7 +9,7 @@ generation much easier to read and to debug.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ gradient 3D              7             20  384³          128
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.model.expr import Call, Constant, Expr, FieldRead
 from repro.model.program import StencilProgram, StencilStatement

@@ -20,7 +20,7 @@ benchmarks can measure those differences quantitatively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.tiling.cone import DependenceCone
 

@@ -24,7 +24,7 @@ Execution semantics on the GPU (Section 4.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.model.preprocess import CanonicalForm
 from repro.tiling.cone import DependenceCone

@@ -43,11 +43,13 @@ Database resolution for ``--tuned`` (first hit wins):
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 from repro.cache.disk import default_cache_dir
 
@@ -168,10 +170,8 @@ class TuningDatabase:
                 handle.write(blob)
             os.replace(temp_name, destination)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(temp_name)
-            except OSError:
-                pass
             raise
         return destination
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.tuning.objectives import TuningTrial
 from repro.tuning.space import Candidate, CandidateSpace

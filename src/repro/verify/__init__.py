@@ -1,0 +1,60 @@
+"""``repro.verify`` — static verification of schedules and generated CUDA.
+
+Two analyses, both decidable because the compiler's schedules are
+closed-form quasi-affine maps and its dependences constant vectors:
+
+* :mod:`repro.verify.symbolic` — a **symbolic race detector** that proves
+  (for *all* problem sizes at once) that each schedule orders every
+  dependence's source before its sink under the GPU execution model, or
+  reports a race with a concrete counterexample pair and the violated
+  ordering level;
+* :mod:`repro.verify.lint` — a **static linter** over the generated CUDA
+  flagging bank conflicts, provable out-of-bounds shared accesses,
+  barriers under divergent control flow and uncoalesced global accesses.
+
+:mod:`repro.verify.faults` seeds the illegal-schedule mutation corpus that
+keeps the detector honest.  The pipeline integration lives in
+:mod:`repro.api` (the ``verify`` stage producing a
+:class:`~repro.api.artifacts.VerificationReport`); the CLI surface is
+``hexcc verify``.
+"""
+
+from repro.verify.faults import ScheduleMutation, get_mutation, mutation_corpus
+from repro.verify.lint import lint_cuda
+from repro.verify.report import (
+    Instance,
+    LintFinding,
+    LintReport,
+    ORDERING_LEVELS,
+    RaceFinding,
+    ScheduleVerdict,
+    VerificationError,
+)
+from repro.verify.symbolic import (
+    HybridScheduleModel,
+    InnerDim,
+    verify_classical,
+    verify_diamond,
+    verify_hybrid,
+    verify_tiling_plan,
+)
+
+__all__ = [
+    "HybridScheduleModel",
+    "InnerDim",
+    "Instance",
+    "LintFinding",
+    "LintReport",
+    "ORDERING_LEVELS",
+    "RaceFinding",
+    "ScheduleMutation",
+    "ScheduleVerdict",
+    "VerificationError",
+    "get_mutation",
+    "lint_cuda",
+    "mutation_corpus",
+    "verify_classical",
+    "verify_diamond",
+    "verify_hybrid",
+    "verify_tiling_plan",
+]

@@ -1,0 +1,860 @@
+"""Symbolic schedule race detection over *all* problem sizes.
+
+The enumerated validator (:mod:`repro.tiling.validate`) checks legality by
+executing the schedule on one small grid.  This module proves (or refutes)
+legality for **every** grid at once, exploiting the fact that all three
+schedules are closed-form quasi-affine maps of the canonical coordinates and
+all dependences are constant distance vectors (Section 3.3.3 of the paper).
+
+The key reduction: for the hexagonal schedule, the phase a point lands in
+and the *displacement* of its tile indices relative to any fixed reference
+are exact functions of the residues ``λ = (l + h + 1) mod P_t`` and
+``μ = ν mod P_s`` of its phase-0 box coordinates — the symbolic tile indices
+``T`` and ``S0`` cancel out of every comparison between a dependence's sink
+``(l, s0)`` and its source ``(l - dl, s0 - ds0)``.  Every residue class is
+inhabited on all sufficiently large grids, so checking the finitely many
+``(λ, μ)`` classes is a sound **and complete** decision procedure.  The
+classical inner dimensions contribute, per class, a small set of possible
+tile displacements ``ΔS_i ∈ {q, q+1}`` derived from the admissible residues
+of the skewed numerator; the lexicographic intra-block check enumerates the
+(at most ``2^(n-1)``) combinations.  The classical and diamond schedules
+reduce the same way over ``l mod lcm(P, k)`` (and ``s0 mod size``).
+
+A dependence is **ordered** when, in every residue class, the source's
+schedule coordinates strictly precede the sink's at a *sequential* level
+before differing at any parallel one — exactly the execution model
+:mod:`repro.tiling.validate` enumerates: sequential ``T``/phases (hybrid),
+sequential wavefronts (classical/diamond), parallel tiles within a
+launch/wavefront, sequential inner tile loops, barrier-stepped local time,
+parallel threads within a barrier step.  Any class where that fails is a
+race, reported with a concrete counterexample pair reconstructed at small
+tile indices (valid on every grid large enough to contain it).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.verify.report import (
+    Instance,
+    RaceFinding,
+    ScheduleVerdict,
+    VerificationError,
+)
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep layering loose
+    from repro.model.preprocess import CanonicalForm
+    from repro.tiling.classical import ClassicalTiling
+    from repro.tiling.diamond import DiamondTiling
+    from repro.tiling.hybrid import HybridTiling
+
+#: Cap on reported races per dependence and coverage findings per model —
+#: one witness proves the schedule wrong; thousands restate it.
+_MAX_RACES_PER_DEPENDENCE = 1
+_MAX_COVERAGE_FINDINGS = 3
+
+
+# -- the hybrid schedule model --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InnerDim:
+    """One classically tiled inner dimension of the hybrid schedule.
+
+    ``S_i = floor((scale*s_i + skew*u) / (scale*width))`` where ``u`` is the
+    local time within the assigned hexagonal phase box and
+    ``skew/scale = δ1_i`` is the lower dependence slope of the dimension.
+    """
+
+    name: str
+    scale: int
+    skew: int
+    width: int
+
+    @property
+    def period(self) -> int:
+        """The numerator period ``scale * width`` of one tile."""
+        return self.scale * self.width
+
+
+@dataclass(frozen=True)
+class HybridScheduleModel:
+    """Closed-form parameters of the hybrid schedule, as the verifier sees it.
+
+    Separating the model from :class:`repro.tiling.hybrid.HybridTiling` is
+    what makes fault injection possible: the mutation corpus
+    (:mod:`repro.verify.faults`) perturbs *this* object — swaps the phase
+    order, drops the intra-tile barrier, flips the inner tile ordering,
+    shrinks the hexagon — and the verifier must notice every time.
+
+    The execution-model switches mirror the GPU mapping of Section 3.4:
+    ``phase_order`` is the launch order of the two kernels within one host
+    ``T`` iteration, ``barrier_per_step`` states that consecutive local time
+    steps inside a tile are separated by ``__syncthreads()``, and
+    ``inner_tiles_ascending`` that the sequential in-kernel loops over
+    ``S1..Sn`` run in increasing index order.
+    """
+
+    height: int
+    num_statements: int
+    time_period: int
+    space_period: int
+    drift: int
+    phase0_offset: int
+    row_lower: tuple[int, ...]
+    row_upper: tuple[int, ...]
+    inner: tuple[InnerDim, ...]
+    phase_order: tuple[int, int] = (0, 1)
+    barrier_per_step: bool = True
+    inner_tiles_ascending: bool = True
+
+    @classmethod
+    def from_tiling(cls, tiling: "HybridTiling") -> "HybridScheduleModel":
+        shape = tiling.shape
+        lower, upper = shape._row_bounds
+        return cls(
+            height=shape.height,
+            num_statements=tiling.canonical.num_statements,
+            time_period=shape.time_period,
+            space_period=shape.space_period,
+            drift=shape.drift,
+            phase0_offset=shape.floor_delta0_h + shape.width + 1,
+            row_lower=tuple(int(b) for b in lower),
+            row_upper=tuple(int(b) for b in upper),
+            inner=tuple(
+                InnerDim(
+                    name=classical.dim_name,
+                    scale=classical.scale,
+                    skew=classical.skew_numerator,
+                    width=classical.width,
+                )
+                for classical in tiling.classical
+            ),
+        )
+
+    def contains(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised membership test of the hexagonal tile shape."""
+        lower = np.asarray(self.row_lower)
+        upper = np.asarray(self.row_upper)
+        in_rows = (a >= 0) & (a < self.time_period)
+        clipped = np.where(in_rows, a, 0)
+        return in_rows & (b >= lower[clipped]) & (b <= upper[clipped])
+
+
+@dataclass(frozen=True)
+class _Assignment:
+    """Phase/tile displacement of one point, per residue class (arrays)."""
+
+    claimed: np.ndarray   # bool — some phase box contains the point
+    phase: np.ndarray     # 0 (blue) / 1 (green) where claimed
+    t_offset: np.ndarray  # time-tile index relative to the symbolic base T
+    s_offset: np.ndarray  # S0 index relative to the symbolic base S
+    local_a: np.ndarray   # local time within the claiming phase box
+
+
+def _assign_relative(
+    model: HybridScheduleModel, lam: np.ndarray, mu: np.ndarray, dl: int, ds: int
+) -> _Assignment:
+    """Assign the point displaced by ``(-dl, -ds)`` from the class anchor.
+
+    ``(lam, mu)`` are the anchor's phase-0 residues; all returned tile
+    indices are offsets against the anchor's symbolic ``(T, S)``, which is
+    what makes the comparison size-independent.
+    """
+    p_t, p_s = model.time_period, model.space_period
+    half = model.height + 1
+    offset = model.phase0_offset
+
+    raw0 = lam - dl
+    e0 = raw0 // p_t
+    a0 = raw0 - e0 * p_t
+    n0 = mu - ds + e0 * model.drift
+    s0_off = n0 // p_s
+    b0 = n0 - s0_off * p_s
+    in_p0 = model.contains(a0, b0)
+
+    raw1 = lam - dl - half
+    e1 = raw1 // p_t
+    a1 = raw1 - e1 * p_t
+    n1 = mu - offset - ds + e1 * model.drift
+    s1_off = n1 // p_s
+    b1 = n1 - s1_off * p_s
+    in_p1 = model.contains(a1, b1)
+
+    return _Assignment(
+        claimed=in_p0 | in_p1,
+        phase=np.where(in_p0, 0, 1),
+        t_offset=np.where(in_p0, e0, e1),
+        s_offset=np.where(in_p0, s0_off, s1_off),
+        local_a=np.where(in_p0, a0, a1),
+    )
+
+
+def _admissible_displacements(
+    dim: InnerDim, distance: int, u_sink: int, u_src: int
+) -> list[tuple[int, int]]:
+    """Possible inner tile displacements ``ΔS_i`` with a residue witness.
+
+    For a sink numerator residue ``ρ`` (which must satisfy
+    ``ρ ≡ skew*u_sink (mod scale)`` to come from an integer ``s_i``), the
+    displacement is ``floor((ρ + δ)/period)`` with
+    ``δ = -scale*ds_i + skew*(u_src - u_sink)``.  Returns the distinct
+    values, each with one witness ``ρ``.
+    """
+    delta = -dim.scale * distance + dim.skew * (u_src - u_sink)
+    base = (dim.skew * u_sink) % dim.scale if dim.scale > 1 else 0
+    seen: dict[int, int] = {}
+    for rho in range(base, dim.period, max(dim.scale, 1)):
+        value = (rho + delta) // dim.period
+        seen.setdefault(value, rho)
+    return sorted(seen.items())
+
+
+def _lex_violation(
+    deltas: Sequence[int], du: int, model: HybridScheduleModel
+) -> str | None:
+    """Which level (if any) fails to order source strictly before sink.
+
+    ``deltas`` are the source-minus-sink inner tile displacements and ``du``
+    the local-time displacement; ordering is the lexicographic in-kernel
+    nest ``(S1, ..., Sn, t')`` with parallel threads below ``t'``.
+    """
+    for delta in deltas:
+        effective = delta if model.inner_tiles_ascending else -delta
+        if effective < 0:
+            return None
+        if effective > 0:
+            return "intra_tile"
+    if not model.barrier_per_step:
+        return "barrier"
+    return "barrier" if du >= 0 else None
+
+
+# -- counterexample reconstruction ----------------------------------------------------
+
+
+def _statement_names(canonical: "CanonicalForm") -> list[str]:
+    return [statement.name for statement in canonical.scop.statements]
+
+
+def _hybrid_instance(
+    canonical: "CanonicalForm",
+    model: HybridScheduleModel,
+    point: tuple[int, ...],
+    assignment: tuple[int, int, int, int],
+) -> Instance:
+    names = _statement_names(canonical)
+    index, t, space = canonical.from_canonical(point)
+    time_tile, phase, block, local = assignment
+    return Instance(
+        statement=names[index],
+        t=t,
+        point=space,
+        schedule=(("T", time_tile), ("phase", phase), ("S0", block), ("t'", local)),
+    )
+
+
+def _reconstruct_pair(
+    canonical: "CanonicalForm",
+    model: HybridScheduleModel,
+    lam: int,
+    mu: int,
+    rhos: Sequence[int],
+    dl: int,
+    ds: Sequence[int],
+    sink: tuple[int, int, int, int],
+    source: tuple[int, int, int, int],
+) -> tuple[Instance, Instance]:
+    """Concrete canonical points realising residue class ``(λ, μ, ρ...)``.
+
+    Inverts the phase-0 box map at generous symbolic indices (``T = t_base``,
+    ``S = s_base``) so both endpoints have non-negative coordinates; the pair
+    is a member of every grid large enough to contain it.
+    """
+    p_t, p_s = model.time_period, model.space_period
+    half = model.height + 1
+    t_base = 2 + (dl + half) // p_t
+    s_base = 3 + (
+        abs(int(ds[0])) + (t_base + 1) * abs(model.drift) + model.phase0_offset
+    ) // p_s
+    logical = t_base * p_t + lam - half
+    s0 = s_base * p_s + mu - model.phase0_offset - t_base * model.drift
+    coords = [logical, s0]
+    u_sink = sink[3]
+    for dim, rho in zip(model.inner, rhos):
+        numerator = 2 * dim.period + rho
+        coords.append((numerator - dim.skew * u_sink) // dim.scale)
+    sink_point = tuple(coords)
+    source_point = tuple(c - d for c, d in zip(sink_point, (dl, *ds)))
+
+    def absolute(rel: tuple[int, int, int, int]) -> tuple[int, int, int, int]:
+        t_off, phase, s_off, local = rel
+        return (t_base + t_off, phase, s_base + s_off, local)
+
+    return (
+        _hybrid_instance(canonical, model, source_point, absolute(source)),
+        _hybrid_instance(canonical, model, sink_point, absolute(sink)),
+    )
+
+
+# -- hybrid verification --------------------------------------------------------------
+
+
+def _check_coverage(
+    model: HybridScheduleModel, canonical: "CanonicalForm"
+) -> tuple[bool, list[RaceFinding]]:
+    """Prove the two phases partition the ``(l, s0)`` plane, symbolically.
+
+    Residue classes again: for every ``(λ, μ)`` exactly one of the two phase
+    boxes must claim the point.  Holds for every grid iff it holds per class.
+    """
+    p_t, p_s = model.time_period, model.space_period
+    lam, mu = np.meshgrid(np.arange(p_t), np.arange(p_s), indexing="ij")
+    lam, mu = lam.ravel(), mu.ravel()
+    sink = _assign_relative(model, lam, mu, 0, 0)
+    # Recompute the two memberships separately to distinguish gaps from
+    # overlaps (the assignment above collapses them into "claimed").
+    half = model.height + 1
+    e1 = np.where(lam >= half, 0, -1)
+    a1 = (lam - half) % p_t
+    n1 = mu - model.phase0_offset + e1 * model.drift
+    b1 = n1 % p_s
+    in_p0 = model.contains(lam, mu)
+    in_p1 = model.contains(a1, b1)
+    gaps = ~in_p0 & ~in_p1
+    overlaps = in_p0 & in_p1
+    findings: list[RaceFinding] = []
+    for kind, mask in (("no phase", gaps), ("both phases", overlaps)):
+        for index in np.flatnonzero(mask)[:_MAX_COVERAGE_FINDINGS]:
+            witness, _ = _reconstruct_pair(
+                canonical,
+                model,
+                int(lam[index]),
+                int(mu[index]),
+                [(dim.skew * 0) % dim.scale if dim.scale > 1 else 0
+                 for dim in model.inner],
+                0,
+                (0,) * (len(model.inner) + 1),
+                (0, int(sink.phase[index]), 0, int(sink.local_a[index])),
+                (0, int(sink.phase[index]), 0, int(sink.local_a[index])),
+            )
+            findings.append(
+                RaceFinding(
+                    strategy="hybrid",
+                    dependence="<coverage>",
+                    level="coverage",
+                    message=(
+                        f"phase partition broken: point (λ={int(lam[index])}, "
+                        f"μ={int(mu[index])}) of the (l, s0) plane is claimed "
+                        f"by {kind}"
+                    ),
+                    sink=witness,
+                )
+            )
+    return not findings, findings
+
+
+def verify_hybrid(
+    canonical: "CanonicalForm",
+    tiling_or_model: "HybridTiling | HybridScheduleModel",
+) -> ScheduleVerdict:
+    """Decide legality of the hybrid schedule for all problem sizes."""
+    if isinstance(tiling_or_model, HybridScheduleModel):
+        model = tiling_or_model
+    else:
+        model = HybridScheduleModel.from_tiling(tiling_or_model)
+    k = model.num_statements
+    p_t, p_s = model.time_period, model.space_period
+    half = model.height + 1
+    if half % k != 0:
+        raise VerificationError(
+            "symbolic hybrid verification requires statement-aligned tiles "
+            f"((h+1) divisible by {k}); got h={model.height}"
+        )
+    names = _statement_names(canonical)
+    name_to_index = {name: index for index, name in enumerate(names)}
+
+    coverage_ok, findings = _check_coverage(model, canonical)
+
+    lam, mu = np.meshgrid(np.arange(p_t), np.arange(p_s), indexing="ij")
+    lam, mu = lam.ravel(), mu.ravel()
+    sink = _assign_relative(model, lam, mu, 0, 0)
+    sink_rank = np.where(sink.phase == model.phase_order[0], 0, 1)
+
+    classes_checked = 0
+    for dependence in canonical.dependences:
+        dl = dependence.time_distance
+        ds = dependence.space_distances
+        sink_index = name_to_index[dependence.sink]
+        source_index = name_to_index[dependence.source]
+        if (sink_index - dl) % k != source_index:
+            # No instance pair realises this combination of statement slots.
+            continue
+        mask = ((lam - half) % k == sink_index) & sink.claimed
+        source = _assign_relative(model, lam, mu, dl, ds[0])
+        mask &= source.claimed  # unclaimed points are coverage findings
+        classes_checked += int(mask.sum())
+        src_rank = np.where(source.phase == model.phase_order[0], 0, 1)
+
+        outer_after = (source.t_offset > sink.t_offset) | (
+            (source.t_offset == sink.t_offset) & (src_rank > sink_rank)
+        )
+        outer_equal = (source.t_offset == sink.t_offset) & (src_rank == sink_rank)
+        crosses = outer_equal & (source.s_offset != sink.s_offset)
+        same_tile = outer_equal & (source.s_offset == sink.s_offset)
+
+        races: list[RaceFinding] = []
+
+        def record(
+            index: int,
+            level: str,
+            message: str,
+            rhos: Sequence[int],
+        ) -> None:
+            src_instance, sink_instance = _reconstruct_pair(
+                canonical,
+                model,
+                int(lam[index]),
+                int(mu[index]),
+                rhos,
+                dl,
+                ds,
+                (
+                    int(sink.t_offset[index]),
+                    int(sink.phase[index]),
+                    int(sink.s_offset[index]),
+                    int(sink.local_a[index]),
+                ),
+                (
+                    int(source.t_offset[index]),
+                    int(source.phase[index]),
+                    int(source.s_offset[index]),
+                    int(source.local_a[index]),
+                ),
+            )
+            races.append(
+                RaceFinding(
+                    strategy="hybrid",
+                    dependence=str(dependence),
+                    level=level,
+                    message=message.format(
+                        source=src_instance, sink=sink_instance
+                    ),
+                    source=src_instance,
+                    sink=sink_instance,
+                )
+            )
+
+        default_rhos = [
+            (dim.skew * 0) % dim.scale if dim.scale > 1 else 0
+            for dim in model.inner
+        ]
+        for index in np.flatnonzero(mask & outer_after):
+            level = (
+                "time_tile"
+                if source.t_offset[index] != sink.t_offset[index]
+                else "phase"
+            )
+            rhos = [
+                (dim.skew * int(sink.local_a[index])) % dim.scale
+                if dim.scale > 1
+                else 0
+                for dim in model.inner
+            ]
+            record(
+                index,
+                level,
+                f"dependence {dependence} violated: source tile of {{source}} "
+                f"executes after sink tile of {{sink}}",
+                rhos,
+            )
+            break
+        if not races:
+            for index in np.flatnonzero(mask & crosses):
+                rhos = [
+                    (dim.skew * int(sink.local_a[index])) % dim.scale
+                    if dim.scale > 1
+                    else 0
+                    for dim in model.inner
+                ]
+                record(
+                    index,
+                    "block",
+                    f"dependence {dependence} crosses concurrent blocks: "
+                    f"{{source}} -> {{sink}}",
+                    rhos,
+                )
+                break
+        if not races:
+            for index in np.flatnonzero(mask & same_tile):
+                u_sink = int(sink.local_a[index])
+                u_src = int(source.local_a[index])
+                per_dim = [
+                    _admissible_displacements(dim, distance, u_sink, u_src)
+                    for dim, distance in zip(model.inner, ds[1:])
+                ]
+                hit = False
+                for combo in itertools.product(*per_dim):
+                    deltas = [value for value, _ in combo]
+                    level = _lex_violation(deltas, u_src - u_sink, model)
+                    if level is None:
+                        continue
+                    rhos = [rho for _, rho in combo]
+                    key_src = (*deltas, u_src)
+                    key_sink = (*([0] * len(deltas)), u_sink)
+                    if level == "barrier" and not model.barrier_per_step:
+                        text = (
+                            f"dependence {dependence} violated inside tile: "
+                            f"no barrier orders local time {u_src} before "
+                            f"{u_sink} ({{source}} -> {{sink}})"
+                        )
+                    else:
+                        text = (
+                            f"dependence {dependence} violated inside tile: "
+                            f"source inner coordinates {key_src} do not "
+                            f"precede {key_sink} ({{source}} -> {{sink}})"
+                        )
+                    record(index, level, text, rhos)
+                    hit = True
+                    break
+                if hit:
+                    break
+        findings.extend(races[:_MAX_RACES_PER_DEPENDENCE])
+
+    ordering = [f for f in findings if f.level != "coverage"]
+    coverage = [f for f in findings if f.level == "coverage"]
+    return ScheduleVerdict(
+        strategy="hybrid",
+        dependences_checked=len(canonical.dependences),
+        classes_checked=classes_checked,
+        races=tuple(coverage + ordering),
+        coverage_ok=coverage_ok,
+        notes=(
+            "counterexamples are stated at small tile indices and hold on "
+            "every grid large enough to contain them",
+        ),
+    )
+
+
+# -- classical verification -----------------------------------------------------------
+
+
+def verify_classical(
+    canonical: "CanonicalForm", tilings: Sequence["ClassicalTiling"]
+) -> ScheduleVerdict:
+    """Decide legality of the classical wavefront schedule for all sizes.
+
+    Execution model: time bands ``TT = l // (h+1)`` are sequential (one
+    kernel launch per wavefront step), tiles within a band execute by
+    wavefronts ``W = ΣS_i`` — same wavefront means concurrent — and inside a
+    tile local time is barrier-stepped.
+    """
+    if not tilings:
+        raise VerificationError("classical verification needs at least one tiling")
+    period = tilings[0].time_period
+    if any(t.time_period != period for t in tilings):
+        raise VerificationError("classical tilings disagree on the time period")
+    k = canonical.num_statements
+    names = _statement_names(canonical)
+    name_to_index = {name: index for index, name in enumerate(names)}
+    dims = [
+        InnerDim(
+            name=t.dim_name,
+            scale=t.scale,
+            skew=t.skew_numerator,
+            width=t.width,
+        )
+        for t in tilings
+    ]
+    span = math.lcm(period, k)
+
+    races: list[RaceFinding] = []
+    classes_checked = 0
+    for dependence in canonical.dependences:
+        dl = dependence.time_distance
+        ds = dependence.space_distances
+        sink_index = name_to_index[dependence.sink]
+        source_index = name_to_index[dependence.source]
+        if (sink_index - dl) % k != source_index:
+            continue
+        found = False
+        for lam in range(sink_index, span, k):
+            classes_checked += 1
+            band_delta = (lam - dl) // period - lam // period
+            if band_delta > 0:
+                races.append(
+                    _classical_race(
+                        canonical, dims, period, lam, dl, ds, dependence,
+                        "time_tile",
+                        f"dependence {dependence} violated: source time band "
+                        f"executes after sink time band",
+                        [(d.skew * (lam % period)) % d.scale if d.scale > 1 else 0
+                         for d in dims],
+                    )
+                )
+                found = True
+            elif band_delta == 0:
+                u_sink = lam % period
+                u_src = (lam - dl) % period
+                per_dim = [
+                    _admissible_displacements(dim, distance, u_sink, u_src)
+                    for dim, distance in zip(dims, ds)
+                ]
+                for combo in itertools.product(*per_dim):
+                    deltas = [value for value, _ in combo]
+                    total = sum(deltas)
+                    level: str | None = None
+                    if total > 0:
+                        level = "wavefront"
+                        message = (
+                            f"dependence {dependence} violated: source "
+                            f"wavefront {total:+d} executes after sink wavefront"
+                        )
+                    elif total == 0 and any(deltas):
+                        level = "block"
+                        message = (
+                            f"dependence {dependence} crosses concurrent tiles "
+                            f"on one wavefront (ΔS={tuple(deltas)})"
+                        )
+                    elif not any(deltas) and u_src >= u_sink:
+                        level = "barrier"
+                        message = (
+                            f"dependence {dependence} violated inside tile: "
+                            f"local time {u_src} does not precede {u_sink}"
+                        )
+                    if level is not None:
+                        races.append(
+                            _classical_race(
+                                canonical, dims, period, lam, dl, ds,
+                                dependence, level, message,
+                                [rho for _, rho in combo],
+                            )
+                        )
+                        found = True
+                        break
+            if found:
+                break
+
+    return ScheduleVerdict(
+        strategy="classical",
+        dependences_checked=len(canonical.dependences),
+        classes_checked=classes_checked,
+        races=tuple(races),
+        coverage_ok=True,
+        notes=("strip-mined bands and floor-divided tiles partition by construction",),
+    )
+
+
+def _classical_race(
+    canonical: "CanonicalForm",
+    dims: Sequence[InnerDim],
+    period: int,
+    lam: int,
+    dl: int,
+    ds: Sequence[int],
+    dependence: Any,
+    level: str,
+    message: str,
+    rhos: Sequence[int],
+) -> RaceFinding:
+    span = math.lcm(period, canonical.num_statements)
+    base = 1 + dl // span
+    logical = base * span + lam
+    u_sink = logical % period
+    coords = [logical]
+    for dim, rho in zip(dims, rhos):
+        numerator = 2 * dim.period + rho
+        coords.append((numerator - dim.skew * u_sink) // dim.scale)
+    sink_point = tuple(coords)
+    source_point = tuple(c - d for c, d in zip(sink_point, (dl, *ds)))
+    names = _statement_names(canonical)
+
+    def instance(point: tuple[int, ...]) -> Instance:
+        index, t, space = canonical.from_canonical(point)
+        band = point[0] // period
+        tiles = tuple(
+            (dim.scale * s + dim.skew * (point[0] % period)) // dim.period
+            for dim, s in zip(dims, point[1:])
+        )
+        return Instance(
+            statement=names[index],
+            t=t,
+            point=space,
+            schedule=(
+                ("TT", band),
+                ("W", sum(tiles)),
+                *(
+                    (f"S{i + 1}", tile)
+                    for i, tile in enumerate(tiles)
+                ),
+                ("u", point[0] % period),
+            ),
+        )
+
+    return RaceFinding(
+        strategy="classical",
+        dependence=str(dependence),
+        level=level,
+        message=message,
+        source=instance(source_point),
+        sink=instance(sink_point),
+    )
+
+
+# -- diamond verification -------------------------------------------------------------
+
+
+def verify_diamond(
+    canonical: "CanonicalForm", tiling: "DiamondTiling"
+) -> ScheduleVerdict:
+    """Decide legality of the diamond schedule for all problem sizes.
+
+    Execution model: wavefronts ``W = D0 - D1`` are sequential, tiles on one
+    wavefront are concurrent, and within a tile the ``l`` steps are
+    barrier-stepped with all space dimensions mapped to parallel threads.
+    """
+    size = tiling.size
+    k = canonical.num_statements
+    names = _statement_names(canonical)
+    name_to_index = {name: index for index, name in enumerate(names)}
+    span = math.lcm(size, k)
+
+    races: list[RaceFinding] = []
+    classes_checked = 0
+    for dependence in canonical.dependences:
+        dl = dependence.time_distance
+        ds0 = dependence.space_distances[0]
+        sink_index = name_to_index[dependence.sink]
+        source_index = name_to_index[dependence.source]
+        if (sink_index - dl) % k != source_index:
+            continue
+        found = False
+        for lam in range(sink_index, span, k):
+            if found:
+                break
+            for sigma in range(size):
+                classes_checked += 1
+                alpha = (sigma + lam) % size
+                beta = (sigma - lam) % size
+                d0 = (alpha - (ds0 + dl)) // size
+                d1 = (beta - (ds0 - dl)) // size
+                wave = d0 - d1
+                level: str | None = None
+                if wave > 0:
+                    level = "wavefront"
+                    message = (
+                        f"dependence {dependence} violated: source wavefront "
+                        f"{wave:+d} executes after sink wavefront"
+                    )
+                elif wave == 0 and (d0 != 0 or d1 != 0):
+                    level = "block"
+                    message = (
+                        f"dependence {dependence} crosses concurrent diamond "
+                        f"tiles (ΔD0={d0}, ΔD1={d1})"
+                    )
+                elif d0 == 0 and d1 == 0 and dl <= 0:
+                    level = "barrier"
+                    message = (
+                        f"dependence {dependence} violated inside tile: no "
+                        f"time step separates source from sink"
+                    )
+                if level is not None:
+                    races.append(
+                        _diamond_race(
+                            canonical, tiling, lam, sigma, dl,
+                            dependence.space_distances, dependence, level,
+                            message,
+                        )
+                    )
+                    found = True
+                    break
+
+    return ScheduleVerdict(
+        strategy="diamond",
+        dependences_checked=len(canonical.dependences),
+        classes_checked=classes_checked,
+        races=tuple(races),
+        coverage_ok=True,
+        notes=("diamond tiles partition the (l, s0) plane by construction",),
+    )
+
+
+def _diamond_race(
+    canonical: "CanonicalForm",
+    tiling: "DiamondTiling",
+    lam: int,
+    sigma: int,
+    dl: int,
+    ds: Sequence[int],
+    dependence: Any,
+    level: str,
+    message: str,
+) -> RaceFinding:
+    size = tiling.size
+    span = math.lcm(size, canonical.num_statements)
+    base_l = 1 + dl // span
+    logical = base_l * span + lam
+    margin = 2 + (abs(int(ds[0])) + dl) // size
+    s0 = margin * size + sigma
+    inner = tuple(5 + abs(int(d)) for d in ds[1:])
+    sink_point = (logical, s0, *inner)
+    source_point = tuple(c - d for c, d in zip(sink_point, (dl, *ds)))
+    names = _statement_names(canonical)
+
+    def instance(point: tuple[int, ...]) -> Instance:
+        index, t, space = canonical.from_canonical(point)
+        d0 = (point[1] + point[0]) // size
+        d1 = (point[1] - point[0]) // size
+        return Instance(
+            statement=names[index],
+            t=t,
+            point=space,
+            schedule=(("W", d0 - d1), ("D0", d0), ("D1", d1)),
+        )
+
+    return RaceFinding(
+        strategy="diamond",
+        dependence=str(dependence),
+        level=level,
+        message=message,
+        source=instance(source_point),
+        sink=instance(sink_point),
+    )
+
+
+# -- dispatch -------------------------------------------------------------------------
+
+
+def verify_tiling_plan(canonical: "CanonicalForm", plan: Any) -> ScheduleVerdict:
+    """Verify whatever schedule a :class:`~repro.api.artifacts.TilingPlan` holds."""
+    from repro.tiling.diamond import DiamondTiling
+    from repro.tiling.hybrid import HybridTiling
+
+    tiling = getattr(plan, "tiling", plan)
+    if isinstance(tiling, (HybridTiling, HybridScheduleModel)):
+        return verify_hybrid(canonical, tiling)
+    if isinstance(tiling, DiamondTiling):
+        return verify_diamond(canonical, tiling)
+    if isinstance(tiling, Iterable):
+        tilings = tuple(tiling)
+        if tilings and all(hasattr(t, "skew_numerator") for t in tilings):
+            return verify_classical(canonical, tilings)
+    raise VerificationError(
+        f"no symbolic verifier for schedule object {type(tiling).__name__}"
+    )
+
+
+__all__ = [
+    "HybridScheduleModel",
+    "InnerDim",
+    "verify_classical",
+    "verify_diamond",
+    "verify_hybrid",
+    "verify_tiling_plan",
+]

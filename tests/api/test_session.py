@@ -17,6 +17,7 @@ from repro.api import (
     StrategyError,
     TileSizes,
     TilingPlan,
+    VerificationReport,
 )
 from repro.stencils import get_stencil
 from repro.tiling.hybrid import HybridTiling
@@ -31,7 +32,7 @@ SIZES = TileSizes.of(2, 3, 6)
 
 
 def test_full_run_produces_every_typed_artifact(program):
-    run = Session().run(program, tile_sizes=SIZES, stop_after="analysis")
+    run = Session().run(program, tile_sizes=SIZES, stop_after="verify")
     assert run.stages_run == STAGES
     assert isinstance(run.artifact("parse"), ParsedProgram)
     assert isinstance(run.artifact("canonicalize"), CanonicalIR)
@@ -39,13 +40,17 @@ def test_full_run_produces_every_typed_artifact(program):
     assert isinstance(run.artifact("memory"), MemoryPlan)
     assert isinstance(run.artifact("codegen"), GeneratedCode)
     assert isinstance(run.artifact("analysis"), AnalysisBundle)
+    assert isinstance(run.artifact("verify"), VerificationReport)
     assert run.artifact("analysis").report.gflops > 0
+    assert run.artifact("verify").ok
 
 
 def test_artifacts_are_frozen(program):
+    import dataclasses
+
     run = Session().run(program, tile_sizes=SIZES, stop_after="tiling")
     plan = run.artifact("tiling")
-    with pytest.raises(Exception):
+    with pytest.raises(dataclasses.FrozenInstanceError):
         plan.strategy = "other"
 
 

@@ -33,6 +33,7 @@ EXPECTED_ALL = [
     "TileSizes",
     "TilingPlan",
     "TilingStrategy",
+    "VerificationReport",
     "get_stencil",
     "get_strategy",
     "list_stencils",
@@ -62,6 +63,7 @@ def test_stage_names_are_pinned():
         "memory",
         "codegen",
         "analysis",
+        "verify",
     )
 
 
@@ -107,6 +109,7 @@ def test_artifact_fields_are_pinned():
         api.MemoryPlan: ["plan"],
         api.GeneratedCode: ["cuda_source", "core_profiles", "threads"],
         api.AnalysisBundle: ["estimate", "report", "device_name"],
+        api.VerificationReport: ["strategy", "schedule", "lint"],
     }
     for artifact_type, names in expected.items():
         assert [f.name for f in fields(artifact_type)] == names, artifact_type

@@ -13,9 +13,8 @@ from repro.obs.spans import NullRecorder, Span, TraceContext, TraceRecorder
 
 def test_nested_spans_record_parent_links():
     recorder = TraceRecorder()
-    with recorder.span("outer"):
-        with recorder.span("inner"):
-            pass
+    with recorder.span("outer"), recorder.span("inner"):
+        pass
     spans = recorder.drain()
     by_name = {span.name: span for span in spans}
     assert set(by_name) == {"outer", "inner"}
@@ -49,9 +48,8 @@ def test_attributes_at_open_and_via_set():
 
 def test_exceptions_are_recorded_and_propagate():
     recorder = TraceRecorder()
-    with pytest.raises(ValueError):
-        with recorder.span("failing"):
-            raise ValueError("boom")
+    with pytest.raises(ValueError), recorder.span("failing"):
+        raise ValueError("boom")
     (span,) = recorder.drain()
     assert span.error == "ValueError: boom"
 

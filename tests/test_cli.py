@@ -201,7 +201,8 @@ def test_inspect_full_pipeline_text_output(capsys):
     code = main(["inspect", "jacobi_2d", "--h", "2", "--widths", "3,6"])
     assert code == 0
     output = capsys.readouterr().out
-    for stage in ("parse", "canonicalize", "tiling", "memory", "codegen", "analysis"):
+    for stage in ("parse", "canonicalize", "tiling", "memory", "codegen",
+                  "analysis", "verify"):
         assert stage in output
     assert "total" in output
 
@@ -470,8 +471,98 @@ def test_inspect_json_contains_span_derived_timings(capsys):
     assert set(timings) == {
         f"pass.{stage}" for stage in (
             "parse", "canonicalize", "tiling", "memory", "codegen", "analysis",
+            "verify",
         )
     }
     # Same timing source: the timings block mirrors the pass events exactly.
     for entry in payload["passes"]:
         assert timings[f"pass.{entry['name']}"]["wall_ms"] == entry["wall_s"] * 1e3
+
+
+# -- verify ---------------------------------------------------------------------------
+
+
+def test_verify_clean_stencil_exits_zero(capsys):
+    assert main(["verify", "jacobi_2d"]) == 0
+    output = capsys.readouterr().out
+    assert "OK" in output and "no races" in output
+    assert "lint 0 error(s)" in output
+    assert "1 verified, 0 failed" in output
+
+
+def test_verify_json_reports_schedule_and_lint(capsys):
+    assert main(["verify", "heat_2d", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    (row,) = payload["results"]
+    assert row["stencil"] == "heat_2d"
+    assert row["strategy"] == "hybrid"
+    assert row["summary"]["ok"] is True
+    assert row["schedule"]["races"] == []
+    assert row["schedule"]["coverage_ok"] is True
+    assert row["schedule"]["classes_checked"] > 0
+    assert row["lint"]["errors"] == 0
+    assert row["lint"]["kernels"]  # the linter saw the generated kernels
+
+
+def test_verify_classical_and_diamond_have_no_lint_block(capsys):
+    assert main(["verify", "jacobi_2d", "--strategy", "classical", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    (row,) = payload["results"]
+    assert row["schedule"]["ok"] is True
+    assert row["lint"] is None  # analysis-only: no generated code to lint
+    assert main(["verify", "jacobi_2d", "--strategy", "diamond", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["results"][0]["schedule"]["ok"] is True
+
+
+def test_verify_all_strategies_skips_inapplicable_combos(capsys):
+    # higher_order_time has a dependence slope > 1, which the diamond
+    # construction rejects; a sweep reports the skip instead of failing.
+    assert main(["verify", "higher_order_time", "--strategy", "all"]) == 0
+    output = capsys.readouterr().out
+    assert "SKIP" in output and "skipped (strategy not applicable)" in output
+
+
+def test_verify_single_inapplicable_combo_propagates(capsys):
+    assert main(["verify", "higher_order_time", "--strategy", "diamond"]) == 1
+    assert "diamond" in capsys.readouterr().err
+
+
+def test_verify_mutation_is_caught_and_exits_one(capsys):
+    assert main(["verify", "jacobi_2d", "--mutate", "phase-swap"]) == 1
+    output = capsys.readouterr().out
+    assert "FAIL" in output
+    assert "race [phase]" in output
+    assert "1 verified, 1 failed" in output
+
+
+def test_verify_mutation_json_has_counterexample_instances(capsys):
+    assert main(["verify", "jacobi_1d", "--mutate", "dropped-barrier",
+                 "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    (row,) = payload["results"]
+    race = row["schedule"]["races"][0]
+    assert race["level"] == "barrier"
+    assert race["source"]["statement"] and race["sink"]["statement"]
+    assert race["source"]["schedule"] and race["sink"]["schedule"]
+
+
+def test_verify_list_mutations(capsys):
+    assert main(["verify", "--list-mutations"]) == 0
+    output = capsys.readouterr().out
+    for name in ("phase-swap", "dropped-barrier", "flipped-tile-order",
+                 "shrunk-hexagon-upper", "grown-hexagon", "dropped-skew"):
+        assert name in output
+
+
+def test_verify_usage_errors(capsys):
+    assert main(["verify"]) == 2
+    assert main(["verify", "not_a_stencil"]) == 2
+    assert main(["verify", "jacobi_2d", "--strategy", "bogus"]) == 2
+    assert main(["verify", "jacobi_2d", "--mutate", "not-a-mutation"]) == 2
+    assert "unknown mutation" in capsys.readouterr().err
+    # mutations perturb the hybrid model only
+    assert main(["verify", "jacobi_2d", "--strategy", "classical",
+                 "--mutate", "phase-swap"]) == 2

@@ -1,0 +1,47 @@
+"""The ``verify`` pipeline stage: artifact shape, caching, CLI-facing summary."""
+
+from __future__ import annotations
+
+from repro.api import STAGES, Session, VerificationReport, get_stencil
+from repro.cache import DiskCache
+
+
+def test_verify_is_the_last_pipeline_stage():
+    assert STAGES[-1] == "verify"
+
+
+def test_verify_stage_produces_a_verification_report():
+    run = Session().run(get_stencil("jacobi_2d"), stop_after="verify")
+    report = run.artifact("verify")
+    assert isinstance(report, VerificationReport)
+    assert report.strategy == "hybrid"
+    assert report.ok
+    assert report.schedule.ok
+    assert report.lint is not None  # hybrid reaches codegen, so lint runs
+    assert report.lint.ok
+    assert report.lint.kernels  # the linter saw the generated kernels
+    summary = report.summary()
+    assert summary["ok"] is True
+    assert summary["races"] == 0
+    assert summary["lint_errors"] == 0
+
+
+def test_default_stop_stays_codegen():
+    # verify is opt-in: a plain run must not pay for it.
+    run = Session().run(get_stencil("jacobi_1d"))
+    assert run.stop_after == "codegen"
+    assert "verify" not in run.stages_run
+
+
+def test_verify_artifact_round_trips_through_the_disk_cache(tmp_path):
+    cache = DiskCache(tmp_path / "cache")
+    program = get_stencil("jacobi_1d")
+    first = Session(disk_cache=cache).run(program, stop_after="verify")
+    assert first.artifact("verify").ok
+    # A fresh session (empty memory cache) must load the pickled report.
+    second = Session(disk_cache=cache).run(program, stop_after="verify")
+    events = {event.name: event for event in second.events}
+    assert events["verify"].source == "disk"
+    report = second.artifact("verify")
+    assert isinstance(report, VerificationReport)
+    assert report.ok and report.lint is not None
