@@ -27,6 +27,8 @@ Key capabilities the monolithic ``HybridCompiler.compile()`` never exposed:
 from __future__ import annotations
 
 import hashlib
+import os
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -36,7 +38,7 @@ from typing import Any
 from repro import obs
 from repro.api.artifacts import STAGE_ARTIFACTS, STAGES
 from repro.api.config import OptimizationConfig
-from repro.api.errors import PipelineError
+from repro.api.errors import PipelineError, StrategyError
 from repro.api.passes import PIPELINE_PASSES
 from repro.api.strategies import get_strategy
 from repro.cache import DiskCache
@@ -47,6 +49,27 @@ from repro.tiling.hybrid import TileSizes
 #: Stage the façade (and ``Session.run`` by default) stops after: analysis is
 #: cheap but on-demand, matching the lazy ``CompilationResult`` accessors.
 DEFAULT_STOP = "codegen"
+
+#: Deliberate per-pass slowdowns, e.g. ``HEXCC_FAULT_DELAY=tiling:40`` (ms,
+#: comma-separated pairs).  The sleep happens inside the pass span, so the
+#: injected time is attributed to that pass everywhere — this is how the CI
+#: attribution-smoke step (and the tests) manufacture a known-guilty pass.
+FAULT_DELAY_ENV = "HEXCC_FAULT_DELAY"
+
+
+def _fault_delays() -> dict[str, float]:
+    """Parse ``$HEXCC_FAULT_DELAY`` into pass-name → seconds (empty if unset)."""
+    raw = os.environ.get(FAULT_DELAY_ENV)
+    if not raw:
+        return {}
+    delays: dict[str, float] = {}
+    for part in raw.split(","):
+        name, _, amount = part.partition(":")
+        try:
+            delays[name.strip()] = float(amount) / 1e3
+        except ValueError:
+            continue
+    return delays
 
 
 @dataclass(frozen=True)
@@ -115,6 +138,7 @@ class PipelineRun:
         events: list[PassEvent],
         stop_after: str,
         tuned_entry: Mapping[str, Any] | None = None,
+        digest: str = "",
     ) -> None:
         self.request = request
         self.artifacts = artifacts
@@ -123,6 +147,8 @@ class PipelineRun:
         #: The tuning-database entry applied to this run (``tuned=True`` and
         #: a hit), or ``None`` when the run used explicit/model sizes.
         self.tuned_entry = tuned_entry
+        #: Content digest of the compiled program (keys run-history records).
+        self.digest = digest
 
     def artifact(self, stage: str) -> Any:
         """The artifact one stage produced; raises if the stage did not run."""
@@ -344,6 +370,7 @@ class Session:
         # cache, strategies, engine fan-outs — record into the same trace.
         telemetry = self.telemetry if self.telemetry is not None else obs.current()
         label = program.name if isinstance(program, StencilProgram) else "<source>"
+        stage_keys: dict[str, str] = {}
         with obs.use(telemetry), telemetry.span(
             "session.run",
             program=label,
@@ -351,11 +378,84 @@ class Session:
             device=request.device.name,
             stop=stop,
         ) as run_span:
-            artifacts, events = self._execute(request, stop, inject, telemetry)
+            try:
+                artifacts, events = self._execute(
+                    request, stop, inject, telemetry, stage_keys
+                )
+            except StrategyError:
+                # An expected "this strategy cannot express that" outcome,
+                # not a pipeline fault: no crash report.
+                raise
+            except Exception as error:
+                obs.event(
+                    "pipeline.error",
+                    level="error",
+                    program=label,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                obs.log.attach_crash_report(
+                    error,
+                    obs.write_crash_report(
+                        error,
+                        context={
+                            "operation": "compile",
+                            "program": label,
+                            "strategy": request.strategy,
+                            "device": request.device.name,
+                            "stop": stop,
+                        },
+                        telemetry=telemetry,
+                        stage_keys=stage_keys,
+                    ),
+                )
+                raise
         telemetry.metrics.observe(
             "compile.wall_ms", run_span.duration_s * 1e3, stop=stop
         )
-        return PipelineRun(request, artifacts, events, stop, tuned_entry=tuned_entry)
+        digest = (
+            program_digest(artifacts["parse"].program)
+            if "parse" in artifacts
+            else ""
+        )
+        self._record_history(request, label, digest, stop, run_span, events)
+        return PipelineRun(
+            request, artifacts, events, stop, tuned_entry=tuned_entry, digest=digest
+        )
+
+    def _record_history(
+        self,
+        request: CompilationRequest,
+        label: str,
+        digest: str,
+        stop: str,
+        run_span: Any,
+        events: list[PassEvent],
+    ) -> None:
+        """Append this run to the persistent history (best-effort, O(1))."""
+        from repro.obs import history
+
+        if not history.history_enabled():
+            return
+        history.RunHistory().append(
+            "compile",
+            history.compile_record(
+                program=label,
+                digest=digest,
+                strategy=request.strategy,
+                device=request.device.name,
+                stop=stop,
+                wall_ms=run_span.duration_s * 1e3,
+                passes=[
+                    {
+                        "name": event.name,
+                        "wall_ms": round(event.wall_s * 1e3, 6),
+                        "source": event.source,
+                        "counters": dict(event.counters),
+                    }
+                    for event in events
+                ],
+            ),
+        )
 
     def _execute(
         self,
@@ -363,14 +463,26 @@ class Session:
         stop: str,
         inject: Mapping[str, Any],
         telemetry: obs.Telemetry,
+        stage_keys: dict[str, str] | None = None,
     ) -> tuple[dict[str, Any], list[PassEvent]]:
-        """The pass loop; every pass is timed through its telemetry span."""
+        """The pass loop; every pass is timed through its telemetry span.
+
+        ``stage_keys`` (when given) is filled with the cache key of every
+        keyed pass as it runs, so a crash report can name the artifacts the
+        run had already produced.
+        """
         artifacts: dict[str, Any] = {}
         events: list[PassEvent] = []
         parent_key: str | None = ""  # "" = pipeline root; None = uncacheable
         digest = ""
+        fault_delays = _fault_delays()
         for pipeline_pass in PIPELINE_PASSES:
             with telemetry.span(f"pass.{pipeline_pass.name}") as pass_span:
+                delay = fault_delays.get(pipeline_pass.name)
+                if delay:
+                    # Inside the span: the injected time shows up as this
+                    # pass's wall time in every downstream view.
+                    time.sleep(delay)
                 injected = inject.get(pipeline_pass.name)
                 if injected is not None:
                     artifact, source = injected, "injected"
@@ -394,6 +506,8 @@ class Session:
                         # intact: their content reaches downstream keys via
                         # the program digest.
                         parent_key = key
+                        if stage_keys is not None:
+                            stage_keys[pipeline_pass.name] = key
                 pass_span.set(source=source)
             artifacts[pipeline_pass.name] = artifact
             if pipeline_pass.name == "parse":
@@ -407,6 +521,12 @@ class Session:
                 counters=_artifact_counters(artifact),
             )
             events.append(event)
+            obs.event(
+                "pass.done",
+                stage=pipeline_pass.name,
+                source=source,
+                wall_ms=round(event.wall_s * 1e3, 6),
+            )
             self._notify_observers(event, telemetry)
             if pipeline_pass.name == stop:
                 break

@@ -26,6 +26,7 @@ from collections.abc import Mapping
 from typing import Any
 
 from repro.bench.schema import SchemaError, load_report
+from repro.obs.attrib import Attribution, attribute_entries
 
 DEFAULT_MAX_REGRESSION = 0.25
 DEFAULT_MIN_TIME = 1e-3  # seconds; entries faster than this never regress
@@ -40,6 +41,9 @@ class Delta:
     metric: str
     old: float
     new: float
+    #: Per-pass decomposition of a wall-time regression (compile-suite
+    #: entries carry per-pass timings); ``None`` when not derivable.
+    attribution: Attribution | None = field(default=None, compare=False)
 
     @property
     def ratio(self) -> float:
@@ -77,6 +81,9 @@ class ComparisonResult:
         ]
         for delta in self.regressions:
             lines.append(f"  REGRESSION {delta}")
+            if delta.attribution is not None:
+                for line in delta.attribution.describe().splitlines():
+                    lines.append(f"    {line}")
         for key in self.missing:
             lines.append(f"  MISSING    {key} (in baseline, absent from new report)")
         for delta in self.counter_drifts:
@@ -158,6 +165,17 @@ def _compare_entry(
         and new_time > old_time
         and new_time >= old_time * (1.0 + max_regression)
     ):
+        # Decompose the regression into per-pass contributions when both
+        # entries carry per-pass timings, so the failure names the guilty
+        # pass instead of just the stencil.
+        delta = Delta(
+            suite,
+            stencil,
+            f"wall_s.{metric}",
+            old_time,
+            new_time,
+            attribution=attribute_entries(old_entry, new_entry),
+        )
         result.regressions.append(delta)
     elif new_time < old_time * (1.0 - max_regression):
         result.improvements.append(delta)

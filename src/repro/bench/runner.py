@@ -101,6 +101,7 @@ def measure_compile_stencil(
     HybridCompiler(disk_cache=disk_cache).compile(program)
     runs: list[float] = []
     stage_runs: dict[str, list[float]] = {}
+    stage_sources: dict[str, dict[str, int]] = {}
     result = None
     compiler = None
     with obs.span("bench.measure", suite="compile", stencil=name, repeats=repeats):
@@ -109,15 +110,21 @@ def measure_compile_stencil(
             elapsed, result = _time_call(lambda: compiler.compile(program))
             runs.append(elapsed)
             # Per-stage wall times from the pass spans of the measured run,
-            # keyed by span name so bench, inspect and profile agree.
+            # keyed by span name so bench, inspect and profile agree; the
+            # cache provenance rides along so regression attribution can
+            # tell a pass regression from a cold-vs-warm-cache flip.
             for event in compiler.last_run.events:
-                stage_runs.setdefault(f"pass.{event.name}", []).append(event.wall_s)
+                key = f"pass.{event.name}"
+                stage_runs.setdefault(key, []).append(event.wall_s)
+                counts = stage_sources.setdefault(key, {})
+                counts[event.source] = counts.get(event.source, 0) + 1
     estimate = result.execution_estimate()
     entry = {
         "wall_s": timing_entry(runs),
         "timings": {
             stage: timing_entry(values) for stage, values in stage_runs.items()
         },
+        "sources": stage_sources,
         "counters": _counters_dict(estimate.counters),
         "meta": {
             "sizes": list(program.sizes),
@@ -240,7 +247,26 @@ def run_bench(options: BenchOptions) -> dict[str, Any]:
         for counter in ("hits", "misses", "stores"):
             cache_totals.setdefault(counter, 0)
         report["disk_cache"] = {"root": str(options.disk_cache.root), **cache_totals}
+    _record_bench_history(options, suites)
     return report
+
+
+def _record_bench_history(
+    options: BenchOptions, suites: dict[str, dict[str, Any]]
+) -> None:
+    """One run-history record per measured suite (best-effort)."""
+    from repro.gpu.device import GTX470
+    from repro.obs import history
+
+    if not history.history_enabled():
+        return
+    store = history.RunHistory()
+    for suite_name, stencils in suites.items():
+        entries = [{"stencil": stencil, **entry} for stencil, entry in stencils.items()]
+        store.append(
+            "bench",
+            history.bench_record(suite=suite_name, device=GTX470.name, entries=entries),
+        )
 
 
 def format_report(report: dict[str, Any]) -> str:

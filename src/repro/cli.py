@@ -715,6 +715,120 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Run-history views: ``hexcc perf history`` and ``hexcc perf diff``."""
+    from repro.obs.attrib import attribute_records
+    from repro.obs.history import RunHistory
+
+    store = RunHistory()
+    if args.action == "history":
+        records = store.records(kind=args.kind, limit=args.limit)
+        if args.json:
+            print(json.dumps([dict(r.data) for r in records], indent=2))
+            return EXIT_OK
+        if not records:
+            print(f"no run history yet (looked in {store.path})")
+            return EXIT_OK
+        for record in records:
+            print(record.describe())
+        return EXIT_OK
+
+    # diff A B — compare two compile records and attribute the delta.
+    try:
+        old = store.select(args.a, kind="compile")
+        new = store.select(args.b, kind="compile")
+    except LookupError as error:
+        raise UsageError(str(error)) from None
+    attribution = attribute_records(old.data, new.data)
+    if args.json:
+        payload = {
+            "old": dict(old.data),
+            "new": dict(new.data),
+            "attribution": None
+            if attribution is None
+            else {
+                "old_total_ms": attribution.old_total_ms,
+                "new_total_ms": attribution.new_total_ms,
+                "total_delta_ms": attribution.total_delta_ms,
+                "guilty": attribution.guilty,
+                "guilty_share": attribution.guilty_share,
+                "cache_delta_ms": attribution.cache_delta_ms,
+                "passes": [
+                    {
+                        "name": c.name,
+                        "old_ms": c.old_ms,
+                        "new_ms": c.new_ms,
+                        "delta_ms": c.delta_ms,
+                        "significant": c.significant,
+                        "cache_transition": c.cache_transition,
+                    }
+                    for c in attribution.contributions
+                ],
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return EXIT_OK
+    print(f"old: {old.describe()}")
+    print(f"new: {new.describe()}")
+    if attribution is None:
+        print("no per-pass timings recorded; cannot attribute the delta")
+        return EXIT_OK
+    print(attribution.describe())
+    return EXIT_OK
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Prometheus text-format exposition of the metrics registry."""
+    from repro.obs.expo import parse_prometheus_text, render_prometheus
+
+    if getattr(args, "from_path", None) is not None:
+        try:
+            document = json.loads(open(args.from_path, encoding="utf-8").read())
+        except json.JSONDecodeError as error:
+            raise UsageError(f"{args.from_path}: not valid JSON: {error}") from None
+        # Accept a raw snapshot or a document embedding one (trace/profile).
+        snapshot = (
+            document.get("metrics", document)
+            if isinstance(document, dict)
+            else None
+        )
+        if not isinstance(snapshot, dict):
+            raise UsageError(f"{args.from_path}: no metrics snapshot found")
+    elif args.stencils:
+        cache = _disk_cache(args)
+        telemetry = obs.Telemetry()
+        with obs.use(telemetry):
+            session = Session(
+                device=_get_device_checked(args.device),
+                strategy="hybrid",
+                disk_cache=cache,
+                telemetry=telemetry,
+            )
+            for raw in args.stencils:
+                session.run(_get_stencil_checked(raw))
+        _flush_cache(cache)
+        snapshot = telemetry.metrics.snapshot()
+    else:
+        raise UsageError(
+            "give stencil names to compile (hexcc metrics jacobi_2d) or "
+            "--from PATH to render a recorded snapshot"
+        )
+    text = render_prometheus(snapshot)
+    print(text, end="")
+    if args.check:
+        try:
+            parsed = parse_prometheus_text(text)
+        except ValueError as error:
+            print(f"exposition INVALID: {error}", file=sys.stderr)
+            return EXIT_FAILURE
+        print(
+            f"# exposition OK: {len(parsed.types)} familie(s), "
+            f"{sum(len(s) for s in parsed.samples.values())} sample(s)",
+            file=sys.stderr,
+        )
+    return EXIT_OK
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
     from pathlib import Path
@@ -995,6 +1109,65 @@ def build_parser() -> argparse.ArgumentParser:
     _add_no_cache_argument(profile_parser)
     profile_parser.set_defaults(func=_cmd_profile)
 
+    perf_parser = sub.add_parser(
+        "perf",
+        help="persistent run history: list runs or diff two of them",
+    )
+    perf_sub = perf_parser.add_subparsers(dest="action", required=True)
+    perf_history = perf_sub.add_parser(
+        "history", help="list recorded compile/bench/tune runs"
+    )
+    perf_history.add_argument(
+        "--kind", choices=("compile", "bench", "tune"), default=None,
+        help="only show records of one kind (default: all)",
+    )
+    perf_history.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show the newest N records (default: 20)",
+    )
+    perf_history.add_argument(
+        "--json", action="store_true",
+        help="emit the raw records as JSON",
+    )
+    perf_history.set_defaults(func=_cmd_perf)
+    perf_diff = perf_sub.add_parser(
+        "diff",
+        help="attribute the wall-time delta between two compile records",
+    )
+    perf_diff.add_argument(
+        "a", help="baseline record: 'last', 'last~N' or an id prefix"
+    )
+    perf_diff.add_argument(
+        "b", help="new record: 'last', 'last~N' or an id prefix"
+    )
+    perf_diff.add_argument(
+        "--json", action="store_true",
+        help="emit both records plus the attribution as JSON",
+    )
+    perf_diff.set_defaults(func=_cmd_perf)
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="Prometheus text-format exposition of the metrics registry",
+    )
+    metrics_parser.add_argument(
+        "stencils", nargs="*",
+        help="stencils to compile under a fresh registry before rendering",
+    )
+    metrics_parser.add_argument(
+        "--from", dest="from_path", default=None, metavar="PATH",
+        help="render the metrics snapshot embedded in a trace/profile JSON "
+             "(or a raw snapshot) instead of compiling",
+    )
+    metrics_parser.add_argument(
+        "--check", action="store_true",
+        help="re-parse the exposition and verify the format invariants "
+             "(exit 1 on any violation)",
+    )
+    metrics_parser.add_argument("--device", default="gtx470")
+    _add_no_cache_argument(metrics_parser)
+    metrics_parser.set_defaults(func=_cmd_metrics)
+
     bench_parser = sub.add_parser(
         "bench",
         help="measure the compiler's own performance and emit BENCH_*.json",
@@ -1082,10 +1255,22 @@ def main(argv: list[str] | None = None) -> int:
         # Strategy/pipeline failures, invalid tiling parameters and
         # simulation mismatches (SimulationMismatchError is a PipelineError).
         print(f"error: {error}", file=sys.stderr)
+        _print_crash_report_path(error)
         return EXIT_FAILURE
     except OSError as error:
         print(f"error: {error.filename or ''}: {error.strerror}", file=sys.stderr)
         return EXIT_FAILURE
+    except Exception as error:
+        # Unexpected faults propagate (full traceback for bug reports), but
+        # the crash report's location is printed first so it isn't lost.
+        _print_crash_report_path(error)
+        raise
+
+
+def _print_crash_report_path(error: BaseException) -> None:
+    path = getattr(error, "crash_report_path", None)
+    if path:
+        print(f"crash report: {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

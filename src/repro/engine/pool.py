@@ -59,6 +59,7 @@ class _TracedOutcome:
     result: Any
     spans: list
     metrics: dict
+    events: tuple = ()  # the worker's event-log tail (obs.log.Event items)
 
 
 def _run_traced(task: _TracedTask) -> _TracedOutcome:
@@ -66,17 +67,34 @@ def _run_traced(task: _TracedTask) -> _TracedOutcome:
 
     Runs in the worker process: the spans recorded here carry the worker's
     pid/tid, and the root ``engine.worker`` span is parented on the parent
-    process's fan-out span so the subtree stitches into one trace.
+    process's fan-out span so the subtree stitches into one trace.  The
+    worker's event tail rides back too, and a worker that raises writes its
+    own crash report (the parent process never sees this worker's state).
     """
     telemetry = obs.Telemetry()
-    with obs.use(telemetry), telemetry.recorder.root_span(
-        "engine.worker", context=task.context, item=task.index
-    ):
-        result = task.function(task.item)
+    try:
+        with obs.use(telemetry), telemetry.recorder.root_span(
+            "engine.worker", context=task.context, item=task.index
+        ):
+            result = task.function(task.item)
+    except Exception as error:
+        # Deeper layers (Session.run) may have written a report already;
+        # don't produce a second one for the same crash.
+        if not getattr(error, "crash_report_path", None):
+            obs.log.attach_crash_report(
+                error,
+                obs.write_crash_report(
+                    error,
+                    context={"operation": "engine.worker", "item": task.index},
+                    telemetry=telemetry,
+                ),
+            )
+        raise
     return _TracedOutcome(
         result=result,
         spans=telemetry.recorder.drain(),
         metrics=telemetry.metrics.snapshot(),
+        events=tuple(telemetry.events.tail()),
     )
 
 
@@ -127,4 +145,5 @@ def map_ordered(
         # adopt() re-parents only spans that lost their root (none here).
         telemetry.recorder.adopt(outcome.spans, parent_id=fan_span.span_id)
         telemetry.metrics.merge(outcome.metrics)
+        telemetry.events.extend(outcome.events)
     return results

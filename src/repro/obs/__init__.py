@@ -39,7 +39,14 @@ import contextvars
 from collections.abc import Iterator
 from typing import Any
 
-from repro.obs import export, profile
+from repro.obs import attrib, export, expo, history, log, profile
+from repro.obs.log import (
+    FLIGHT_RECORDER,
+    Event,
+    EventLog,
+    NullEventLog,
+    write_crash_report,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS_MS,
     MetricsRegistry,
@@ -56,8 +63,12 @@ from repro.obs.spans import (
 
 __all__ = [
     "DEFAULT_BUCKETS_MS",
+    "Event",
+    "EventLog",
+    "FLIGHT_RECORDER",
     "MetricsRegistry",
     "NULL_TELEMETRY",
+    "NullEventLog",
     "NullMetrics",
     "NullRecorder",
     "Span",
@@ -65,28 +76,41 @@ __all__ = [
     "Telemetry",
     "TraceContext",
     "TraceRecorder",
+    "attrib",
     "count",
     "current",
+    "event",
     "export",
+    "expo",
     "gauge",
+    "history",
+    "log",
     "metric_key",
     "observe",
     "profile",
     "span",
     "use",
+    "write_crash_report",
 ]
 
 
 class Telemetry:
-    """One recorder + one metrics registry, enabled or a matched no-op pair."""
+    """One recorder + metrics registry + event log, enabled or no-op.
 
-    __slots__ = ("recorder", "metrics")
+    A disabled telemetry still exposes the process-global
+    :data:`~repro.obs.log.FLIGHT_RECORDER` as its event log, so the last N
+    events are always available to a crash report even when nothing opted
+    into tracing; an enabled telemetry gets its own bounded log.
+    """
+
+    __slots__ = ("recorder", "metrics", "events")
 
     def __init__(
         self,
         enabled: bool = True,
         recorder: NullRecorder | None = None,
         metrics: NullMetrics | None = None,
+        events: NullEventLog | None = None,
     ) -> None:
         if recorder is not None:
             self.recorder = recorder
@@ -96,6 +120,10 @@ class Telemetry:
             self.metrics = metrics
         else:
             self.metrics = MetricsRegistry() if enabled else NullMetrics()
+        if events is not None:
+            self.events = events
+        else:
+            self.events = EventLog() if enabled else FLIGHT_RECORDER
 
     @property
     def enabled(self) -> bool:
@@ -134,6 +162,24 @@ def use(telemetry: Telemetry) -> Iterator[Telemetry]:
 def span(name: str, **attributes: Any) -> SpanHandle:
     """Open a span on the ambient recorder (a no-op handle when disabled)."""
     return _ACTIVE.get().recorder.span(name, **attributes)
+
+
+def event(name: str, level: str = "info", **fields: Any) -> None:
+    """Emit a structured event on the ambient log.
+
+    The active span id and trace id are captured at emit time, so the
+    event can be joined back onto the trace; under the fully disabled
+    telemetry the event still lands in the process-global flight recorder
+    (bounded ring, microsecond cost) for post-mortems.
+    """
+    telemetry = _ACTIVE.get()
+    telemetry.events.emit(
+        name,
+        level=level,
+        span_id=telemetry.recorder.current_span_id(),
+        trace_id=telemetry.recorder.trace_id,
+        **fields,
+    )
 
 
 def count(name: str, value: float = 1.0, **labels: Any) -> None:

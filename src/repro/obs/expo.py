@@ -1,0 +1,275 @@
+"""Prometheus text-format exposition of a metrics snapshot.
+
+``hexcc metrics`` renders a :class:`~repro.obs.MetricsRegistry` snapshot in
+the Prometheus `text exposition format`__ — the contract a future
+``hexcc serve`` endpoint will expose for scraping, testable today without
+a server.  The rendering follows the format's rules:
+
+* metric names are sanitised (``.`` → ``_``) and prefixed ``hexcc_``;
+* counters get the ``_total`` suffix and ``# TYPE ... counter``;
+* histograms render cumulative ``_bucket{le="..."}`` series ending in
+  ``le="+Inf"`` (equal to ``_count``), plus ``_sum`` and ``_count``;
+* label values escape backslash, double quote and newline.
+
+:func:`parse_prometheus_text` is the deliberately strict inverse used by
+``hexcc metrics --check`` and the tests: it re-parses an exposition and
+verifies the structural invariants (known types, cumulative buckets,
+``+Inf`` == ``_count``), so the rendering cannot silently drift away from
+what a real scraper would accept.
+
+__ https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+from typing import Any
+
+METRIC_PREFIX = "hexcc_"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a registry key (``name{k=v,k2=v2}``) into name + labels."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        if not part:
+            continue
+        label, _, value = part.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _sanitise_name(name: str) -> str:
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return METRIC_PREFIX + cleaned
+
+
+def _sanitise_label(label: str) -> str:
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", label)
+    if not cleaned or not _LABEL_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitise_label(k)}="{_escape_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render one registry snapshot as Prometheus exposition text."""
+    families: dict[str, tuple[str, list[str]]] = {}
+
+    def family(name: str, metric_type: str) -> list[str]:
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = (metric_type, [])
+        return entry[1]
+
+    for key, value in snapshot.get("counters", {}).items():
+        raw_name, labels = parse_metric_key(key)
+        name = _sanitise_name(raw_name) + "_total"
+        family(name, "counter").append(
+            f"{name}{_labels_text(labels)} {_format_number(float(value))}"
+        )
+
+    for key, value in snapshot.get("gauges", {}).items():
+        raw_name, labels = parse_metric_key(key)
+        name = _sanitise_name(raw_name)
+        family(name, "gauge").append(
+            f"{name}{_labels_text(labels)} {_format_number(float(value))}"
+        )
+
+    for key, payload in snapshot.get("histograms", {}).items():
+        if not isinstance(payload, Mapping):
+            continue
+        raw_name, labels = parse_metric_key(key)
+        name = _sanitise_name(raw_name)
+        lines = family(name, "histogram")
+        buckets = [float(b) for b in payload.get("buckets", ())]
+        counts = [int(c) for c in payload.get("counts", ())]
+        cumulative = 0
+        for bound, count in zip(buckets, counts):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_number(bound)
+            lines.append(
+                f"{name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+            )
+        total_count = int(payload.get("count", 0))
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(f"{name}_bucket{_labels_text(inf_labels)} {total_count}")
+        lines.append(
+            f"{name}_sum{_labels_text(labels)} "
+            f"{_format_number(float(payload.get('sum', 0.0)))}"
+        )
+        lines.append(f"{name}_count{_labels_text(labels)} {total_count}")
+
+    out: list[str] = []
+    for name in sorted(families):
+        metric_type, lines = families[name]
+        out.append(f"# TYPE {name} {metric_type}")
+        out.extend(lines)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+@dataclass
+class ParsedExposition:
+    """A strictly parsed exposition: types + samples, ready to assert on."""
+
+    types: dict[str, str] = field(default_factory=dict)
+    #: family/series name → list of ``(labels, value)`` samples.
+    samples: dict[str, list[tuple[dict[str, str], float]]] = field(
+        default_factory=dict
+    )
+
+    def value(self, name: str, **labels: str) -> float:
+        """The single sample matching ``name`` + labels exactly."""
+        matches = [
+            v for lbls, v in self.samples.get(name, []) if lbls == labels
+        ]
+        if len(matches) != 1:
+            raise KeyError(f"{name}{labels}: {len(matches)} matches")
+        return matches[0]
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_prometheus_text(text: str) -> ParsedExposition:
+    """Parse an exposition and check its structural invariants.
+
+    Raises :class:`ValueError` on any violation: malformed lines, samples
+    whose family has no ``# TYPE``, counters missing ``_total``,
+    non-cumulative histogram buckets, or ``le="+Inf"`` != ``_count``.
+    """
+    parsed = ParsedExposition()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped",
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE line {line!r}")
+            parsed.types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels_text = match.group("labels") or ""
+        labels = {
+            key: _unescape(value)
+            for key, value in _LABEL_PAIR.findall(labels_text)
+        }
+        # Reject junk the pair-regex silently skipped.
+        stripped = _LABEL_PAIR.sub("", labels_text).replace(",", "").strip()
+        if stripped:
+            raise ValueError(f"line {lineno}: malformed labels {labels_text!r}")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: malformed value {match.group('value')!r}"
+            ) from None
+        parsed.samples.setdefault(name, []).append((labels, value))
+
+    _check_invariants(parsed)
+    return parsed
+
+
+def _family_of(sample_name: str, types: Mapping[str, str]) -> str | None:
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def _check_invariants(parsed: ParsedExposition) -> None:
+    for name in parsed.samples:
+        family = _family_of(name, parsed.types)
+        if family is None:
+            raise ValueError(f"sample {name!r} has no # TYPE declaration")
+        if parsed.types[family] == "counter" and not name.endswith("_total"):
+            raise ValueError(f"counter sample {name!r} lacks the _total suffix")
+
+    for family, metric_type in parsed.types.items():
+        if metric_type != "histogram":
+            continue
+        # Group bucket samples by their non-le labels.
+        series: dict[tuple, list[tuple[float, float]]] = {}
+        for labels, value in parsed.samples.get(f"{family}_bucket", []):
+            if "le" not in labels:
+                raise ValueError(f"{family}_bucket sample lacks an le label")
+            rest = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            series.setdefault(rest, []).append(
+                (_parse_value(labels["le"]), value)
+            )
+        for rest, buckets in series.items():
+            buckets.sort(key=lambda item: item[0])
+            if not buckets or not math.isinf(buckets[-1][0]):
+                raise ValueError(f"{family}{dict(rest)}: no le=\"+Inf\" bucket")
+            cumulative = [count for _, count in buckets]
+            if cumulative != sorted(cumulative):
+                raise ValueError(f"{family}{dict(rest)}: buckets not cumulative")
+            count = parsed.value(f"{family}_count", **dict(rest))
+            if buckets[-1][1] != count:
+                raise ValueError(
+                    f"{family}{dict(rest)}: le=\"+Inf\" ({buckets[-1][1]}) "
+                    f"!= _count ({count})"
+                )

@@ -8,8 +8,15 @@ dictionaries.  A :class:`MetricsRegistry` supports
   self-contained document under the registry lock;
 * **merging** — :meth:`MetricsRegistry.merge` folds a snapshot (typically
   shipped back from an engine worker process) into this registry: counters
-  add, gauges take the incoming value, histograms add bucket-wise when the
-  bucket boundaries agree.
+  add, gauges take the incoming value, histograms add bucket-wise.  A
+  snapshot whose histogram bucket boundaries disagree with the registry's
+  is *re-binned* rather than dropped: each incoming bucket's count lands in
+  the first resident bucket whose upper bound is not below the incoming
+  bound, which keeps ``count``/``sum``/``min``/``max`` exact and the
+  cumulative counts at every shared boundary exact (sub-boundary detail the
+  incoming layout never had stays conservative, never inflated).  Snapshots
+  carry a unique ``snapshot_id``; merging the same snapshot twice is a
+  no-op, so a retried worker hand-off cannot double-count.
 
 The disabled counterpart, :class:`NullMetrics`, makes every operation a
 no-op so always-on instrumentation stays effectively free.
@@ -17,16 +24,62 @@ no-op so always-on instrumentation stays effectively free.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from typing import Any
 
 #: Default histogram bucket upper bounds, in milliseconds; the implicit
-#: final bucket is +inf.  Chosen around the compiler's observed range
-#: (sub-ms warm compiles to tens-of-ms cold ones, seconds for sweeps).
+#: final bucket is +inf.  Chosen around the compiler's observed range: the
+#: three sub-millisecond bounds resolve warm-disk-cache compiles (sub-ms
+#: since the persistent cache landed), then tens-of-ms cold compiles and
+#: seconds-long sweeps.
 DEFAULT_BUCKETS_MS: tuple[float, ...] = (
-    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0, 5000.0,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0,
+    1000.0, 5000.0,
 )
+
+#: Process-global snapshot sequence; ids are ``{pid:x}-{seq}`` so snapshots
+#: minted by pool-reused worker processes can never collide.
+_SNAPSHOT_SEQ = itertools.count(1)
+
+#: How many already-merged snapshot ids a registry remembers (bounds the
+#: dedup memory; far above any realistic fan-out width).
+_MERGED_IDS_LIMIT = 4096
+
+
+def remap_bucket_counts(
+    src_buckets: Sequence[float],
+    src_counts: Sequence[int],
+    dst_buckets: Sequence[float],
+) -> list[int]:
+    """Re-bin histogram counts from one bucket layout onto another.
+
+    Each source bucket's count goes to the first destination bucket whose
+    upper bound is ``>=`` the source bound (the implicit final bucket is
+    +inf on both sides).  A sample known to be ``<= b`` is certainly
+    ``<= b' `` for any ``b' >= b``, so the result is always *cumulatively
+    conservative*: cumulative counts at boundaries shared by both layouts
+    are exact, cumulative counts at destination-only boundaries are lower
+    bounds.  Coarsening (every destination bound present in the source) is
+    exact everywhere.
+    """
+    remapped = [0] * (len(dst_buckets) + 1)
+    for index, count in enumerate(src_counts):
+        if not count:
+            continue
+        if index >= len(src_buckets):  # the source +inf bucket
+            remapped[len(dst_buckets)] += int(count)
+            continue
+        bound = src_buckets[index]
+        target = len(dst_buckets)
+        for j, dst_bound in enumerate(dst_buckets):
+            if dst_bound >= bound:
+                target = j
+                break
+        remapped[target] += int(count)
+    return remapped
 
 
 def metric_key(name: str, labels: Mapping[str, Any]) -> str:
@@ -79,11 +132,15 @@ class _Histogram:
         }
 
     def merge(self, other: Mapping[str, Any]) -> None:
-        if tuple(other.get("buckets", ())) != self.buckets:
-            return  # incompatible boundaries: drop rather than corrupt
-        for i, count in enumerate(other.get("counts", ())):
+        counts = [int(c) for c in other.get("counts", ())]
+        other_buckets = tuple(float(b) for b in other.get("buckets", ()))
+        if other_buckets != self.buckets:
+            # A different bucket layout (e.g. a snapshot recorded before the
+            # sub-ms buckets existed): re-bin instead of silently dropping.
+            counts = remap_bucket_counts(other_buckets, counts, self.buckets)
+        for i, count in enumerate(counts):
             if i < len(self.counts):
-                self.counts[i] += int(count)
+                self.counts[i] += count
         self.total += float(other.get("sum", 0.0))
         self.count += int(other.get("count", 0))
         if other.get("min") is not None:
@@ -132,6 +189,11 @@ class MetricsRegistry(NullMetrics):
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, _Histogram] = {}
+        # Ids of snapshots already folded in (insertion-ordered so the
+        # oldest are forgotten first once the dedup window fills up).
+        self._merged_ids: dict[str, None] = {}
+        #: How many merges were skipped as duplicates (same snapshot_id).
+        self.duplicate_merges = 0
 
     def count(self, name: str, value: float = 1.0, **labels: Any) -> None:
         """Add ``value`` (default 1) to a monotonically increasing counter."""
@@ -161,9 +223,14 @@ class MetricsRegistry(NullMetrics):
             histogram.observe(float(value))
 
     def snapshot(self) -> dict[str, Any]:
-        """A JSON-safe, self-contained copy of every metric (atomic)."""
+        """A JSON-safe, self-contained copy of every metric (atomic).
+
+        Every snapshot carries a process-unique ``snapshot_id`` so a
+        receiver can merge it idempotently (see :meth:`merge`).
+        """
         with self._lock:
             return {
+                "snapshot_id": f"{os.getpid():x}-{next(_SNAPSHOT_SEQ)}",
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "histograms": {
@@ -173,10 +240,25 @@ class MetricsRegistry(NullMetrics):
             }
 
     def merge(self, snapshot: Mapping[str, Any]) -> None:
-        """Fold a snapshot (e.g. from a worker process) into this registry."""
+        """Fold a snapshot (e.g. from a worker process) into this registry.
+
+        Merging is idempotent per snapshot: a snapshot whose
+        ``snapshot_id`` was already merged is skipped (and counted in
+        :attr:`duplicate_merges`), so counters cannot double-count when a
+        hand-off is retried.  Id-less snapshots (older layouts, hand-built
+        dictionaries) merge unconditionally.
+        """
         if not snapshot:
             return
         with self._lock:
+            snapshot_id = snapshot.get("snapshot_id")
+            if isinstance(snapshot_id, str) and snapshot_id:
+                if snapshot_id in self._merged_ids:
+                    self.duplicate_merges += 1
+                    return
+                self._merged_ids[snapshot_id] = None
+                while len(self._merged_ids) > _MERGED_IDS_LIMIT:
+                    self._merged_ids.pop(next(iter(self._merged_ids)))
             for key, value in snapshot.get("counters", {}).items():
                 self._counters[key] = self._counters.get(key, 0.0) + float(value)
             for key, value in snapshot.get("gauges", {}).items():
@@ -196,3 +278,5 @@ class MetricsRegistry(NullMetrics):
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._merged_ids.clear()
+            self.duplicate_merges = 0

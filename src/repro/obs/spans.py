@@ -134,6 +134,10 @@ class NullRecorder:
 
     enabled = False
 
+    #: Disabled recorders have no trace identity; events logged against them
+    #: carry ``trace_id=None``.
+    trace_id: str | None = None
+
     def span(self, name: str, **attributes: Any) -> SpanHandle:
         return SpanHandle(self, name, attributes)
 
@@ -148,6 +152,13 @@ class NullRecorder:
 
     def _exit(self, handle: SpanHandle, end_perf_ns: int) -> None:
         pass
+
+    def current_span_id(self) -> str | None:
+        return None
+
+    def open_spans(self) -> list[tuple[str, str]]:
+        """``(span_id, name)`` of every currently open span, outermost first."""
+        return []
 
     def drain(self) -> list[Span]:
         return []
@@ -170,11 +181,14 @@ class TraceRecorder(NullRecorder):
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self._pid = os.getpid()
-        self._stack: list[str] = []
+        self._stack: list[tuple[str, str]] = []  # (span_id, name), innermost last
         # Pin the wall clock against the monotonic clock once, so every
         # span's timestamp is monotonic *and* comparable across processes.
         self._epoch_wall_ns = time.time_ns()
         self._epoch_perf_ns = time.perf_counter_ns()
+        #: Identity of this trace (event-log records reference it); unique
+        #: per recorder because the span sequence is process-global.
+        self.trace_id: str | None = f"{self._pid:x}-t{next(_SPAN_SEQ)}"
 
     def span(self, name: str, **attributes: Any) -> SpanHandle:
         return SpanHandle(self, name, attributes)
@@ -188,7 +202,11 @@ class TraceRecorder(NullRecorder):
 
     def current_span_id(self) -> str | None:
         """Id of the innermost open span (for exporting a TraceContext)."""
-        return self._stack[-1] if self._stack else None
+        return self._stack[-1][0] if self._stack else None
+
+    def open_spans(self) -> list[tuple[str, str]]:
+        """``(span_id, name)`` of every currently open span, outermost first."""
+        return list(self._stack)
 
     def export_context(self) -> TraceContext:
         """The propagation context a worker process should record under."""
@@ -197,13 +215,15 @@ class TraceRecorder(NullRecorder):
     def _enter(self, handle: SpanHandle) -> None:
         handle.span_id = f"{self._pid:x}-{next(_SPAN_SEQ)}"
         if handle.parent_id is None and self._stack:
-            handle.parent_id = self._stack[-1]
-        self._stack.append(handle.span_id)
+            handle.parent_id = self._stack[-1][0]
+        self._stack.append((handle.span_id, handle.name))
 
     def _exit(self, handle: SpanHandle, end_perf_ns: int) -> None:
-        if self._stack and self._stack[-1] == handle.span_id:
+        if self._stack and self._stack[-1][0] == handle.span_id:
             self._stack.pop()
-        start_perf_ns = end_perf_ns - int(handle.duration_s * 1e9)
+        # round(), not int(): truncation loses 1 ns for ~2% of durations,
+        # breaking duration_s == handle.duration_s exact round-trips.
+        start_perf_ns = end_perf_ns - round(handle.duration_s * 1e9)
         self.spans.append(
             Span(
                 name=handle.name,

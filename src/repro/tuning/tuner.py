@@ -192,7 +192,86 @@ def tune(
     resumes from the cached ``canonicalize`` artifact — and previously
     evaluated trials (plus the enumerated space) are replayed from the cache
     instead of re-measured, making warm sweep re-runs nearly free.
+
+    A completed sweep is appended to the persistent run history; a sweep
+    that dies writes a crash report (see :mod:`repro.obs.log`) before the
+    exception propagates.
     """
+    try:
+        result = _tune_impl(
+            program,
+            strategy=strategy,
+            objective=objective,
+            budget=budget,
+            seed=seed,
+            jobs=jobs,
+            device=device,
+            config=config,
+            tune_threads=tune_threads,
+            disk_cache=disk_cache,
+            db=db,
+        )
+    except (ValueError, KeyboardInterrupt):
+        # Bad arguments / user interrupt: expected, not a pipeline fault.
+        raise
+    except Exception as error:
+        obs.log.attach_crash_report(
+            error,
+            obs.write_crash_report(
+                error,
+                context={
+                    "operation": "tune",
+                    "program": program.name,
+                    "strategy": strategy,
+                    "objective": objective,
+                    "budget": budget,
+                    "seed": seed,
+                },
+            ),
+        )
+        raise
+    _record_tune_history(result)
+    return result
+
+
+def _record_tune_history(result: TuningResult) -> None:
+    """Append one sweep summary to the run history (best-effort)."""
+    from repro.obs import history
+
+    if not history.history_enabled():
+        return
+    history.RunHistory().append(
+        "tune",
+        history.tune_record(
+            program=result.program_name,
+            strategy_space=f"{result.strategy}/{result.objective}",
+            trials=len(result.trials) + 1,  # + the model baseline
+            best_score=result.best.score,
+            best_config={
+                "height": result.best.candidate.sizes.height,
+                "widths": list(result.best.candidate.sizes.widths),
+                "threads": list(result.best.candidate.threads)
+                if result.best.candidate.threads is not None
+                else None,
+            },
+        ),
+    )
+
+
+def _tune_impl(
+    program: StencilProgram,
+    *,
+    strategy: str,
+    objective: str,
+    budget: int,
+    seed: int,
+    jobs: int,
+    device: GPUDevice,
+    config: OptimizationConfig | None,
+    tune_threads: bool,
+    disk_cache: DiskCache | None,
+    db: TuningDatabase | None,
+) -> TuningResult:
     if objective not in list_objectives():
         raise ValueError(
             f"unknown tuning objective {objective!r}; known: {list_objectives()}"

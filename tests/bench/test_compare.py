@@ -148,3 +148,65 @@ def test_cli_rejects_malformed_report(tmp_path):
     broken = tmp_path / "broken.json"
     broken.write_text("{}")
     assert main([good, str(broken)]) == 2
+
+
+# -- regression attribution ----------------------------------------------------------
+
+
+def report_with_passes(pass_ms, stencil="jacobi_1d"):
+    """A compile-suite report with per-pass timings (ms) and provenance."""
+    total_s = sum(pass_ms.values()) / 1e3
+    return make_report(
+        {
+            "compile": {
+                stencil: {
+                    "wall_s": timing_entry([total_s]),
+                    "counters": {},
+                    "meta": {},
+                    "timings": {
+                        f"pass.{name}": timing_entry([ms / 1e3])
+                        for name, ms in pass_ms.items()
+                    },
+                    "sources": {f"pass.{name}": {"computed": 1} for name in pass_ms},
+                }
+            }
+        },
+        quick=True,
+        repeats=1,
+    )
+
+
+def test_regression_is_attributed_to_the_guilty_pass(tmp_path, capsys):
+    baseline = report_with_passes({"parse": 1.0, "tiling": 4.0, "codegen": 5.0})
+    slower = report_with_passes({"parse": 1.0, "tiling": 44.0, "codegen": 5.0})
+    result = compare_reports(baseline, slower, max_regression=0.25)
+    assert not result.ok
+    (delta,) = result.regressions
+    assert delta.attribution is not None
+    assert delta.attribution.guilty == "tiling"
+    assert delta.attribution.guilty_share > 0.5
+    summary = result.summary()
+    assert "guilty pass: tiling" in summary
+    # ...and the CLI gate prints the same verdict on failure.
+    old = _write(tmp_path, "old.json", baseline)
+    new = _write(tmp_path, "new.json", slower)
+    assert main([old, new, "--max-regression", "25%"]) == 1
+    assert "guilty pass: tiling" in capsys.readouterr().out
+
+
+def test_regression_without_pass_timings_has_no_attribution():
+    result = compare_reports(report_with(0.1), report_with(0.2))
+    (delta,) = result.regressions
+    assert delta.attribution is None
+    assert "REGRESSION" in result.summary()  # still reported, just bare
+
+
+def test_cache_tier_flip_is_called_out_not_blamed():
+    baseline = report_with_passes({"tiling": 0.1, "codegen": 5.0})
+    baseline_entry = baseline["suites"]["compile"]["stencils"]["jacobi_1d"]
+    baseline_entry["sources"]["pass.tiling"] = {"disk": 1}
+    slower = report_with_passes({"tiling": 40.0, "codegen": 5.0})
+    result = compare_reports(baseline, slower, max_regression=0.25)
+    (delta,) = result.regressions
+    assert delta.attribution.guilty is None
+    assert "dominated by cache-tier change" in result.summary()

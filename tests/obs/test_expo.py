@@ -1,0 +1,133 @@
+"""Prometheus text-format rendering and its strict inverse parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.expo import (
+    parse_metric_key,
+    parse_prometheus_text,
+    render_prometheus,
+)
+
+
+def test_parse_metric_key_inverts_the_registry_flattening():
+    assert parse_metric_key("cache.hit") == ("cache.hit", {})
+    assert parse_metric_key("cache.hit{stage=tiling}") == (
+        "cache.hit", {"stage": "tiling"},
+    )
+    assert parse_metric_key("x{a=1,b=2}") == ("x", {"a": "1", "b": "2"})
+
+
+def test_counters_render_with_total_suffix_and_labels():
+    text = render_prometheus(
+        {"counters": {"cache.hit{stage=tiling}": 3.0, "cache.hit": 1.0}}
+    )
+    assert "# TYPE hexcc_cache_hit_total counter" in text
+    assert text.count("# TYPE hexcc_cache_hit_total") == 1  # one family line
+    parsed = parse_prometheus_text(text)
+    assert parsed.value("hexcc_cache_hit_total", stage="tiling") == 3.0
+    assert parsed.value("hexcc_cache_hit_total") == 1.0
+
+
+def test_gauges_render_plainly():
+    parsed = parse_prometheus_text(
+        render_prometheus({"gauges": {"engine.jobs": 4.0}})
+    )
+    assert parsed.types["hexcc_engine_jobs"] == "gauge"
+    assert parsed.value("hexcc_engine_jobs") == 4.0
+
+
+def test_histograms_render_cumulative_buckets():
+    text = render_prometheus(
+        {
+            "histograms": {
+                "compile.wall_ms{stop=codegen}": {
+                    "buckets": [1.0, 5.0, 25.0],
+                    "counts": [1, 0, 2, 1],  # last = overflow
+                    "sum": 40.5,
+                    "count": 4,
+                }
+            }
+        }
+    )
+    parsed = parse_prometheus_text(text)
+    name = "hexcc_compile_wall_ms"
+    assert parsed.types[name] == "histogram"
+    assert parsed.value(f"{name}_bucket", stop="codegen", le="1") == 1.0
+    assert parsed.value(f"{name}_bucket", stop="codegen", le="5") == 1.0
+    assert parsed.value(f"{name}_bucket", stop="codegen", le="25") == 3.0
+    assert parsed.value(f"{name}_bucket", stop="codegen", le="+Inf") == 4.0
+    assert parsed.value(f"{name}_sum", stop="codegen") == 40.5
+    assert parsed.value(f"{name}_count", stop="codegen") == 4.0
+
+
+def test_label_values_escape_and_round_trip():
+    awkward = 'he said "hi"\nback\\slash'
+    parsed = parse_prometheus_text(
+        render_prometheus({"counters": {f"c{{msg={awkward}}}": 1.0}})
+    )
+    assert parsed.value("hexcc_c_total", msg=awkward) == 1.0
+
+
+def test_real_registry_snapshot_round_trips(small_jacobi_2d):
+    from repro import obs
+    from repro.api import Session
+
+    telemetry = obs.Telemetry()
+    Session(telemetry=telemetry).run(small_jacobi_2d)
+    snapshot = telemetry.metrics.snapshot()
+    parsed = parse_prometheus_text(render_prometheus(snapshot))
+    assert parsed.value("hexcc_compile_wall_ms_count", stop="codegen") == 1.0
+    assert "histogram" in parsed.types.values()
+
+
+def test_empty_snapshot_renders_empty():
+    assert render_prometheus({}) == ""
+    parsed = parse_prometheus_text("")
+    assert parsed.types == {} and parsed.samples == {}
+
+
+def test_parser_rejects_samples_without_a_type():
+    with pytest.raises(ValueError, match="no # TYPE"):
+        parse_prometheus_text("hexcc_x_total 1\n")
+
+
+def test_parser_rejects_counters_without_total_suffix():
+    with pytest.raises(ValueError, match="_total"):
+        parse_prometheus_text("# TYPE hexcc_x counter\nhexcc_x 1\n")
+
+
+def test_parser_rejects_non_cumulative_buckets():
+    text = (
+        "# TYPE hexcc_h histogram\n"
+        'hexcc_h_bucket{le="1"} 3\n'
+        'hexcc_h_bucket{le="2"} 2\n'
+        'hexcc_h_bucket{le="+Inf"} 3\n'
+        "hexcc_h_sum 1\n"
+        "hexcc_h_count 3\n"
+    )
+    with pytest.raises(ValueError, match="not cumulative"):
+        parse_prometheus_text(text)
+
+
+def test_parser_rejects_inf_bucket_count_mismatch():
+    text = (
+        "# TYPE hexcc_h histogram\n"
+        'hexcc_h_bucket{le="+Inf"} 3\n'
+        "hexcc_h_sum 1\n"
+        "hexcc_h_count 4\n"
+    )
+    with pytest.raises(ValueError, match="_count"):
+        parse_prometheus_text(text)
+
+
+def test_parser_rejects_malformed_lines():
+    with pytest.raises(ValueError, match="malformed sample"):
+        parse_prometheus_text("# TYPE hexcc_x gauge\nnot a sample !!\n")
+    with pytest.raises(ValueError, match="malformed value"):
+        parse_prometheus_text("# TYPE hexcc_x gauge\nhexcc_x elephant\n")
+    with pytest.raises(ValueError, match="malformed labels"):
+        parse_prometheus_text('# TYPE hexcc_x gauge\nhexcc_x{oops} 1\n')
+    with pytest.raises(ValueError, match="malformed TYPE"):
+        parse_prometheus_text("# TYPE hexcc_x wibble\n")

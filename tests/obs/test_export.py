@@ -111,3 +111,83 @@ def test_metrics_document_envelope():
     assert document["kind"] == "hexcc-metrics"
     assert document["schema_version"] == 1
     assert document["metrics"] == {"counters": {"a": 1.0}}
+
+
+# -- deliberately corrupted traces ---------------------------------------------------
+
+
+def _span(span_id, parent_id=None, duration_ns=10, name="pass.x"):
+    from repro.obs.spans import Span
+
+    return Span(
+        name=name, span_id=span_id, parent_id=parent_id,
+        start_ns=0, duration_ns=duration_ns, pid=1, tid=1, attributes={},
+    )
+
+
+def test_validate_spans_accepts_a_real_tree():
+    from repro.obs.validate import validate_spans
+
+    assert validate_spans(_record_tree()) == []
+
+
+def test_validate_spans_flags_orphans_and_negative_durations():
+    from repro.obs.validate import validate_spans
+
+    problems = validate_spans(
+        [
+            _span("s1"),
+            _span("s2", parent_id="ghost"),  # parent never materialised
+            _span("s3", parent_id="s1", duration_ns=-5),
+        ]
+    )
+    assert any("orphan span" in p and "'ghost'" in p for p in problems)
+    assert any("negative duration" in p for p in problems)
+    assert len(problems) == 2
+
+
+def test_validate_spans_flags_self_parents_and_cycles():
+    from repro.obs.validate import validate_spans
+
+    problems = validate_spans(
+        [
+            _span("s1", parent_id="s1"),
+            _span("a", parent_id="b"),
+            _span("b", parent_id="a"),
+        ]
+    )
+    assert any("its own parent" in p for p in problems)
+    assert any("parent cycle" in p and "a -> b" in p for p in problems)
+
+
+def test_validate_spans_flags_duplicate_and_empty_ids():
+    from repro.obs.validate import validate_spans
+
+    problems = validate_spans([_span("s1"), _span("s1"), _span("")])
+    assert any("duplicate span_id 's1'" in p for p in problems)
+    assert any("empty span_id" in p for p in problems)
+
+
+def test_validator_flags_an_orphan_in_an_exported_trace():
+    # Corrupt a real trace after export: re-parent one span onto an id
+    # that does not exist anywhere in the document.
+    document = chrome_trace(_record_tree())
+    victim = next(
+        e for e in document["traceEvents"]
+        if e["ph"] == "X" and e["args"].get("parent_id")
+    )
+    victim["args"]["parent_id"] = "no-such-span"
+    problems = validate_chrome_trace(document)
+    assert any(
+        "orphan span" in p and "'no-such-span'" in p for p in problems
+    )
+
+
+def test_validator_flags_a_cycle_in_an_exported_trace():
+    document = chrome_trace(_record_tree())
+    spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    root = next(e for e in spans if e["args"]["parent_id"] is None)
+    child = next(e for e in spans if e["args"]["parent_id"] is not None)
+    root["args"]["parent_id"] = child["args"]["span_id"]
+    problems = validate_chrome_trace(document)
+    assert any("parent cycle" in p for p in problems)

@@ -9,6 +9,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
     metric_key,
+    remap_bucket_counts,
 )
 
 
@@ -45,17 +46,24 @@ def test_gauges_take_the_last_value():
 
 def test_histograms_bucket_and_summarise():
     registry = MetricsRegistry()
-    for value in (0.3, 1.5, 70.0, 10_000.0):
+    for value in (0.08, 0.3, 1.5, 70.0, 10_000.0):
         registry.observe("compile.wall_ms", value)
     (histogram,) = registry.snapshot()["histograms"].values()
     assert histogram["buckets"] == list(DEFAULT_BUCKETS_MS)
-    assert sum(histogram["counts"]) == 4
-    assert histogram["counts"][0] == 1  # 0.3 <= 0.5
+    assert sum(histogram["counts"]) == 5
+    # The sub-millisecond buckets resolve warm-cache compiles.
+    assert histogram["counts"][DEFAULT_BUCKETS_MS.index(0.1)] == 1  # 0.08
+    assert histogram["counts"][DEFAULT_BUCKETS_MS.index(0.5)] == 1  # 0.3
     assert histogram["counts"][-1] == 1  # 10_000 > every bound -> +inf bucket
-    assert histogram["count"] == 4
-    assert histogram["min"] == 0.3
+    assert histogram["count"] == 5
+    assert histogram["min"] == 0.08
     assert histogram["max"] == 10_000.0
-    assert abs(histogram["sum"] - 10_071.8) < 1e-9
+    assert abs(histogram["sum"] - 10_071.88) < 1e-9
+
+
+def test_default_buckets_resolve_sub_millisecond_compiles():
+    assert {0.05, 0.1, 0.25}.issubset(DEFAULT_BUCKETS_MS)
+    assert list(DEFAULT_BUCKETS_MS) == sorted(DEFAULT_BUCKETS_MS)
 
 
 def test_snapshot_is_json_safe_and_detached():
@@ -84,14 +92,95 @@ def test_merge_folds_a_worker_snapshot():
     assert histogram["sum"] == 6.0
 
 
-def test_merge_skips_incompatible_histogram_buckets():
+def test_merge_rebins_disagreeing_histogram_buckets():
+    # A snapshot recorded under the pre-sub-ms bucket layout must fold into
+    # the new layout without losing samples (coarse -> fine is conservative:
+    # each count lands at the first new bound >= its old bound).
     registry = MetricsRegistry()
-    registry.observe("x", 1.0)
-    before = registry.snapshot()["histograms"]["x"]
+    registry.observe("x", 0.07)  # lands in the 0.1 bucket
+    old_layout = {
+        "buckets": [0.5, 1.0],
+        "counts": [2, 1, 3],  # 2 <= 0.5, 1 <= 1.0, 3 in +inf
+        "sum": 30.0,
+        "count": 6,
+        "min": 0.2,
+        "max": 20.0,
+    }
+    registry.merge({"histograms": {"x": old_layout}})
+    histogram = registry.snapshot()["histograms"]["x"]
+    assert histogram["buckets"] == list(DEFAULT_BUCKETS_MS)
+    assert histogram["count"] == 7
+    assert sum(histogram["counts"]) == 7  # nothing dropped
+    assert histogram["counts"][DEFAULT_BUCKETS_MS.index(0.5)] == 2
+    assert histogram["counts"][DEFAULT_BUCKETS_MS.index(1.0)] == 1
+    assert histogram["counts"][-1] == 3
+    assert abs(histogram["sum"] - 30.07) < 1e-9  # merged 30.0 + local 0.07
+    assert histogram["min"] == 0.07
+    assert histogram["max"] == 20.0
+
+
+def test_remap_bucket_counts_is_exact_when_coarsening():
+    # Fine -> coarse where every destination bound exists in the source:
+    # cumulative counts agree at every destination boundary.
+    fine = [0.05, 0.1, 0.25, 0.5, 1.0]
+    counts = [1, 2, 3, 4, 5, 6]  # last = +inf
+    coarse = [0.1, 1.0]
+    remapped = remap_bucket_counts(fine, counts, coarse)
+    assert remapped == [3, 12, 6]  # <=0.1: 1+2; <=1.0: 3+4+5; +inf: 6
+    assert sum(remapped) == sum(counts)
+
+
+def test_remap_bucket_counts_conservative_on_unshared_bounds():
+    # A source bucket whose bound has no exact destination match goes to
+    # the first destination bound above it — never below (cumulative
+    # counts at shared bounds stay exact, unshared ones are lower bounds).
+    remapped = remap_bucket_counts([0.3], [5, 0], [0.25, 0.5])
+    assert remapped == [0, 5, 0]  # 0.3-bounded samples land in the 0.5 bucket
+
+
+def test_merge_counter_snapshots_are_idempotent():
+    parent, worker = MetricsRegistry(), MetricsRegistry()
+    worker.count("cache.hit", 3.0)
+    snapshot = worker.snapshot()
+    parent.merge(snapshot)
+    parent.merge(snapshot)  # a retried hand-off must not double-count
+    assert parent.snapshot()["counters"]["cache.hit"] == 3.0
+    assert parent.duplicate_merges == 1
+    # A fresh snapshot with the same content has a new id and does merge.
+    parent.merge(worker.snapshot())
+    assert parent.snapshot()["counters"]["cache.hit"] == 6.0
+
+
+def test_merge_accepts_a_partial_snapshot_from_a_dead_worker():
+    # A worker that died mid-run can ship a truncated document: sections
+    # missing entirely, a histogram with no counts, junk payloads.  Merge
+    # must take what is usable and never raise.
+    registry = MetricsRegistry()
+    registry.count("a", 1.0)
     registry.merge(
-        {"histograms": {"x": {"buckets": [1.0, 2.0], "counts": [1, 0, 0], "count": 1}}}
+        {
+            "snapshot_id": "dead-1",
+            "counters": {"a": 2.0},
+            # no "gauges" section at all
+            "histograms": {
+                "h": {"buckets": [1.0], "counts": [], "count": 0, "sum": 0.0},
+                "junk": "not-a-mapping",
+            },
+        }
     )
-    assert registry.snapshot()["histograms"]["x"] == before
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["a"] == 3.0
+    assert snapshot["histograms"]["h"]["count"] == 0
+    assert "junk" not in snapshot["histograms"]
+
+
+def test_merge_without_snapshot_id_is_unconditional():
+    registry = MetricsRegistry()
+    legacy = {"counters": {"a": 1.0}}
+    registry.merge(legacy)
+    registry.merge(legacy)  # id-less snapshots cannot be deduplicated
+    assert registry.snapshot()["counters"]["a"] == 2.0
+    assert registry.duplicate_merges == 0
 
 
 def test_clear_empties_everything():
@@ -99,8 +188,15 @@ def test_clear_empties_everything():
     registry.count("a")
     registry.gauge("b", 1)
     registry.observe("c", 1.0)
+    registry.merge({"snapshot_id": "x-1", "counters": {"a": 1.0}})
     registry.clear()
-    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {}
+    assert snapshot["gauges"] == {}
+    assert snapshot["histograms"] == {}
+    assert registry.duplicate_merges == 0
+    registry.merge({"snapshot_id": "x-1", "counters": {"a": 1.0}})
+    assert registry.snapshot()["counters"] == {"a": 1.0}  # dedup forgotten
 
 
 def test_null_metrics_is_inert():

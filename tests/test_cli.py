@@ -479,6 +479,95 @@ def test_inspect_json_contains_span_derived_timings(capsys):
         assert timings[f"pass.{entry['name']}"]["wall_ms"] == entry["wall_s"] * 1e3
 
 
+# -- observability: hexcc perf / hexcc metrics ----------------------------------------
+
+
+def test_perf_history_empty(capsys):
+    assert main(["perf", "history"]) == 0
+    assert "no run history yet" in capsys.readouterr().out
+
+
+def test_compiles_land_in_perf_history(capsys):
+    assert main(["compile", "jacobi_1d", "--h", "1", "--widths", "4"]) == 0
+    assert main(["compile", "heat_2d", "--h", "2", "--widths", "3,6"]) == 0
+    capsys.readouterr()
+    assert main(["perf", "history"]) == 0
+    output = capsys.readouterr().out
+    assert "jacobi_1d" in output and "heat_2d" in output
+    assert main(["perf", "history", "--kind", "compile", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [r["program"] for r in payload] == ["jacobi_1d", "heat_2d"]
+    assert all(r["kind"] == "compile" for r in payload)
+    assert all(p["wall_ms"] >= 0.0 for p in payload[0]["passes"])
+
+
+def test_perf_diff_attributes_an_injected_slowdown(monkeypatch, capsys):
+    """The acceptance pin, end to end through the CLI: a delay injected
+
+    into the tiling pass is named guilty by ``hexcc perf diff``."""
+    args = ["compile", "jacobi_1d", "--no-cache", "--h", "1", "--widths", "4"]
+    assert main(args) == 0
+    monkeypatch.setenv("HEXCC_FAULT_DELAY", "tiling:40")
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(["perf", "diff", "last~1", "last"]) == 0
+    output = capsys.readouterr().out
+    assert "guilty pass: tiling" in output
+    assert main(["perf", "diff", "last~1", "last", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["attribution"]["guilty"] == "tiling"
+    assert payload["attribution"]["guilty_share"] > 0.5
+    assert payload["attribution"]["total_delta_ms"] > 30.0
+
+
+def test_perf_diff_bad_selector_is_a_usage_error(capsys):
+    assert main(["perf", "diff", "last", "zzzz"]) == 2
+    assert main(["perf", "diff", "last", "last"]) == 2  # history is empty
+
+
+def test_metrics_command_renders_and_checks(capsys):
+    assert main(["metrics", "jacobi_1d", "--check"]) == 0
+    captured = capsys.readouterr()
+    assert "# TYPE hexcc_compile_wall_ms histogram" in captured.out
+    assert 'le="+Inf"' in captured.out
+    assert "exposition OK" in captured.err
+
+
+def test_metrics_from_trace_file(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "jacobi_1d", "-o", str(out), "--jobs", "1"]) == 0
+    capsys.readouterr()
+    assert main(["metrics", "--from", str(out), "--check"]) == 0
+    captured = capsys.readouterr()
+    assert "hexcc_" in captured.out
+    assert "exposition OK" in captured.err
+
+
+def test_metrics_usage_errors(tmp_path, capsys):
+    assert main(["metrics"]) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    assert main(["metrics", "--from", str(bad)]) == 2
+    no_snapshot = tmp_path / "nosnap.json"
+    no_snapshot.write_text("[1, 2, 3]")
+    assert main(["metrics", "--from", str(no_snapshot)]) == 2
+
+
+def test_pipeline_failures_print_the_crash_report_path(monkeypatch, capsys):
+    from repro.api import Session
+
+    def explode(self, pipeline_pass, key, request, artifacts):
+        raise RuntimeError("synthetic fault")
+
+    monkeypatch.setattr(Session, "_fetch_or_run", explode)
+    with pytest.raises(RuntimeError):
+        main(["compile", "jacobi_1d"])
+    err = capsys.readouterr().err
+    assert "crash report: " in err
+    path = err.split("crash report: ", 1)[1].strip().splitlines()[0]
+    assert json.loads(open(path).read())["error"]["message"] == "synthetic fault"
+
+
 # -- verify ---------------------------------------------------------------------------
 
 
